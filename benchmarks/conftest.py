@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Every experiment benchmark prints the regenerated paper artifact (run
+pytest with ``-s`` to see the tables) and asserts the qualitative claims.
+Heavy experiment functions run exactly once via ``benchmark.pedantic``.
+"""
+
+import pytest
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def run_once():
+    return once

@@ -1,0 +1,44 @@
+"""FIG2 — Figure 2: average throughput + commit %, (N,U,F) × 8 systems.
+
+Regenerates the paper's central comparison on the congestion simulator:
+200 validators over 10 regions, the three DIABLO DApp workloads, the six
+modern blockchains plus the EVM+DBFT baseline and SRBB.
+"""
+
+from repro.analysis.figures import figure2
+from repro.diablo.report import format_results_table
+from repro.sim.chains import FIGURE_ORDER
+
+
+def test_figure2(benchmark, run_once):
+    rows = run_once(benchmark, figure2)
+    print()
+    print(format_results_table(
+        rows, title="Figure 2 — throughput (TPS) and commit % per workload"
+    ))
+
+    by = {(r["workload"], r["chain"]): r for r in rows}
+    # SRBB reaches the highest throughput for every workload (paper §V-A).
+    for workload in ("nasdaq", "uber", "fifa"):
+        srbb = by[(workload, "srbb")]["throughput_tps"]
+        for chain in FIGURE_ORDER:
+            if chain != "srbb":
+                assert srbb > by[(workload, chain)]["throughput_tps"]
+
+    # SRBB commits 100 % of NASDAQ and Uber — and is the only one to.
+    for workload in ("nasdaq", "uber"):
+        assert by[(workload, "srbb")]["commit_pct"] == 100.0
+        for chain in FIGURE_ORDER:
+            if chain != "srbb":
+                assert by[(workload, chain)]["commit_pct"] < 100.0
+
+    # SRBB commits ≥ ~98 % of FIFA; nobody else gets close (paper: ≤ 47 %).
+    assert by[("fifa", "srbb")]["commit_pct"] >= 96.0
+    for chain in FIGURE_ORDER:
+        if chain != "srbb":
+            assert by[("fifa", chain)]["commit_pct"] <= 47.0
+
+    # Paper's SRBB magnitudes: 166.61 / 835.15 / 1819 TPS.
+    assert 120 <= by[("nasdaq", "srbb")]["throughput_tps"] <= 200
+    assert 700 <= by[("uber", "srbb")]["throughput_tps"] <= 900
+    assert 1400 <= by[("fifa", "srbb")]["throughput_tps"] <= 2400

@@ -1,0 +1,34 @@
+"""FIG3 — Figure 3: average commit latency, (N,U,F) × 8 systems."""
+
+from repro.analysis.figures import figure3
+from repro.diablo.report import format_results_table
+from repro.sim.chains import FIGURE_ORDER
+
+
+def test_figure3(benchmark, run_once):
+    rows = run_once(benchmark, figure3)
+    print()
+    print(format_results_table(rows, title="Figure 3 — average latency (s)"))
+
+    by = {(r["workload"], r["chain"]): r["avg_latency_s"] for r in rows}
+
+    # SRBB has the lowest latency on NASDAQ and Uber (paper: 6.6 s, 3.9 s).
+    for workload in ("nasdaq", "uber"):
+        srbb = by[(workload, "srbb")]
+        for chain in FIGURE_ORDER:
+            if chain != "srbb":
+                assert srbb < by[(workload, chain)], (workload, chain)
+
+    # SRBB's NASDAQ/Uber latencies are single-digit seconds.
+    assert by[("nasdaq", "srbb")] < 10
+    assert by[("uber", "srbb")] < 10
+
+    # FIFA: SRBB drains a huge backlog, so its latency is tens of seconds
+    # (paper: 64 s) — higher than chains that commit almost nothing.
+    assert 30 <= by[("fifa", "srbb")] <= 120
+
+    # The 6 modern chains all exceed 20 s everywhere (paper §V-A).
+    for workload in ("nasdaq", "uber", "fifa"):
+        for chain in FIGURE_ORDER:
+            if chain not in ("srbb",):
+                assert by[(workload, chain)] > 20, (workload, chain)

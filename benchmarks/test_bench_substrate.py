@@ -1,0 +1,83 @@
+"""Substrate micro-benchmarks (true pytest-benchmark timing loops).
+
+Not a paper artifact — these keep the simulator's own hot paths honest:
+signature verification, Merkle trees, the executor, the tick engine and a
+full consensus round, so regressions in the substrate are visible.
+"""
+
+import pytest
+
+from repro import params
+from repro.core.block import SuperBlock, make_block
+from repro.core.blockchain import Blockchain
+from repro.core.transaction import make_transfer
+from repro.crypto.keys import generate_keypair, sign, verify
+from repro.crypto.merkle import MerkleTree
+from repro.sim.chains import SRBB
+from repro.sim.engine import simulate_chain
+from repro.vm.state import WorldState
+from repro.workloads import constant_trace
+
+
+def test_signature_verify(benchmark):
+    kp = generate_keypair(1)
+    sig = sign(kp.private, b"message")
+    assert benchmark(verify, kp.public, b"message", sig)
+
+
+def test_merkle_tree_1024_leaves(benchmark):
+    leaves = [bytes([i % 256]) * 32 for i in range(1024)]
+    tree = benchmark(MerkleTree, leaves)
+    assert len(tree) == 1024
+
+
+def test_executor_transfer_throughput(benchmark):
+    kp = generate_keypair(1)
+
+    def setup():
+        state = WorldState()
+        state.create_account(kp.address, 10**12)
+        state.commit()
+        chain = Blockchain(protocol=params.ProtocolParams(n=4), state=state)
+        txs = [make_transfer(kp, "aa" * 20, 1, nonce=i) for i in range(200)]
+        block = make_block(kp, 0, 1, txs)
+        return (chain, SuperBlock(index=1, blocks=(block,))), {}
+
+    def commit(chain, superblock):
+        return chain.commit_superblock(superblock)
+
+    result = benchmark.pedantic(commit, setup=setup, rounds=10)
+    assert len(result.committed) == 200
+
+
+def test_tick_engine_fifa_scale(benchmark):
+    trace = constant_trace(3500, 180)
+    result = benchmark.pedantic(
+        simulate_chain, args=(SRBB, trace), rounds=3, iterations=1
+    )
+    assert result.sent == 3500 * 180
+
+
+def test_consensus_round_n4(benchmark):
+    """One full superblock round (RBC + n binary instances) at n=4."""
+    from repro.core.deployment import Deployment, fund_clients
+    from repro.net.topology import single_region_topology
+
+    def setup():
+        clients, balances = fund_clients(2)
+        deployment = Deployment(
+            protocol=params.ProtocolParams(n=4, rpm=False),
+            topology=single_region_topology(4),
+            extra_balances=balances,
+        )
+        tx = make_transfer(clients[0], clients[1].address, 1, nonce=0)
+        deployment.start()
+        deployment.submit(tx, validator_id=0, at=0.01)
+        return (deployment,), {}
+
+    def run_round(deployment):
+        deployment.run_until(1.0)
+        return deployment.validators[0].blockchain.height
+
+    height = benchmark.pedantic(run_round, setup=setup, rounds=5)
+    assert height >= 1

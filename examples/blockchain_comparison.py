@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Regenerate the paper's headline comparison (Figures 2 and 3) as text.
+
+Runs the three DIABLO DApp workloads against all eight chain models on
+the 200-validator congestion simulator and prints Figure-2/Figure-3-style
+tables, plus the §V-A TVPR headline ratios.
+
+Run:  python examples/blockchain_comparison.py
+"""
+
+from repro.analysis.figures import figure2, figure3, tvpr_headline
+from repro.diablo.report import format_results_table
+
+
+def main() -> None:
+    print(format_results_table(
+        figure2(),
+        title="Figure 2 — avg throughput (TPS) and commit % "
+              "(NASDAQ, Uber, FIFA × 8 systems)",
+    ))
+    print()
+    print(format_results_table(
+        figure3(),
+        title="Figure 3 — avg latency (s)",
+    ))
+    headline = tvpr_headline()
+    print()
+    print("§V-A headline (SRBB vs EVM+DBFT on FIFA):")
+    print(f"  throughput ×{headline.throughput_ratio:.1f}  (paper: ×55)")
+    print(f"  latency    ÷{headline.latency_ratio:.1f}  (paper: ÷3.5)")
+
+
+if __name__ == "__main__":
+    main()

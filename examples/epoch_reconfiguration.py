@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Live committee reconfiguration in the engine (§IV-E, end to end).
+
+Eight candidate full nodes; every 4 consensus indexes a fresh committee
+of 4 is drawn.  Non-members observe passively (they replicate every
+superblock without sending a single consensus message), so an incoming
+committee starts proposing instantly — no state sync pause.
+
+Run:  python examples/epoch_reconfiguration.py
+"""
+
+from repro.core.deployment import fund_clients
+from repro.core.epochs import ReconfigurableDeployment
+from repro.core.transaction import make_transfer
+from repro.net.topology import single_region_topology
+
+
+def main() -> None:
+    clients, balances = fund_clients(3)
+    deployment = ReconfigurableDeployment(
+        pool_size=8,
+        committee_size=4,
+        epoch_length=4,
+        topology=single_region_topology(8),
+        extra_balances=balances,
+    )
+    deployment.start()
+
+    txs = []
+    for i in range(15):
+        sender = clients[i % 3]
+        tx = make_transfer(sender, clients[(i + 1) % 3].address, 1, nonce=i // 3)
+        target = deployment.committee_for_index(1)[i % 4]
+        deployment.submit(tx, validator_id=target, at=0.05 + 0.25 * i)
+        txs.append(tx)
+
+    deployment.run_until(20.0)
+
+    reached = min(v._next_commit_index for v in deployment.validators) - 1
+    print(f"consensus indexes completed: {reached} "
+          f"(≈ {reached // 4} epoch rotations)")
+    print("epoch  committee (node ids)")
+    for epoch in range((reached - 1) // 4 + 1):
+        print(f"{epoch:5d}  {deployment.schedule.committee_for_epoch(epoch)}")
+
+    proposed = {v.node_id: v.stats.blocks_proposed for v in deployment.validators}
+    print("blocks proposed per node:", proposed)
+    served = {nid for nid, count in proposed.items() if count > 0}
+    print(f"nodes that served on a committee: {sorted(served)}")
+
+    committed = sum(
+        all(v.blockchain.contains_tx(tx) for v in deployment.validators)
+        for tx in txs
+    )
+    print(f"transactions committed everywhere: {committed}/{len(txs)}")
+    print("safety:", deployment.safety_holds(),
+          " states agree:", deployment.states_agree())
+
+    assert deployment.safety_holds() and deployment.states_agree()
+    assert len(served) > 4, "rotation should have drawn beyond one committee"
+    print("\nepoch reconfiguration demo OK")
+
+
+if __name__ == "__main__":
+    main()

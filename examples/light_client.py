@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Light-client receipt verification (§VI's 'transaction receipt').
+
+A wallet that trusts only the committee's membership list confirms its
+transaction without replaying the chain:
+
+1. ask any validator for a receipt + Merkle inclusion proof,
+2. verify the proposer certificate and the Merkle path locally,
+3. (stronger) collect f+1 signed chain-head checkpoints for finality.
+
+Run:  python examples/light_client.py
+"""
+
+from repro import params
+from repro.core.deployment import Deployment, fund_clients
+from repro.core.lightclient import Checkpoint, CheckpointVerifier, verify_inclusion
+from repro.core.transaction import make_transfer
+from repro.net.topology import single_region_topology
+
+
+def main() -> None:
+    clients, balances = fund_clients(2)
+    deployment = Deployment(
+        protocol=params.ProtocolParams(n=4),
+        topology=single_region_topology(4),
+        extra_balances=balances,
+    )
+    deployment.start()
+    tx = make_transfer(clients[0], clients[1].address, 250, nonce=0)
+    deployment.submit(tx, validator_id=0, at=0.05)
+    deployment.run_until(5.0)
+
+    # --- the light client's only trust anchor: the committee ----------------
+    committee = set(deployment.genesis.validator_addresses)
+
+    # 1-2. receipt + inclusion proof from ANY validator, verified locally
+    proof = deployment.validators[2].receipts.inclusion_proof(tx.tx_hash)
+    print("inclusion proof height :", proof.height)
+    print("verifies vs committee  :", verify_inclusion(proof, committee))
+    print("rejects fake committee :", not verify_inclusion(proof, {"00" * 20}))
+    assert verify_inclusion(proof, committee)
+
+    # 3. f+1 signed checkpoints finalize the head that covers the proof
+    verifier = CheckpointVerifier(committee, f=deployment.protocol.f)
+    for validator, kp in zip(deployment.validators, deployment.keypairs):
+        checkpoint = Checkpoint.create(
+            kp, validator.blockchain.height, validator.blockchain.head().block_hash
+        )
+        verifier.add(checkpoint)
+    print("finalized height       :", verifier.finalized_height)
+    print("checkpoint covers proof:", verifier.covers(proof))
+    assert verifier.covers(proof)
+    print("\nlight client demo OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""NASDAQ DApp workload on SRBB — a scaled-down §V-A experiment.
+
+Runs the (synthetic) NASDAQ stock-trading workload through the
+message-level engine with the DIABLO-style harness, then shows the same
+workload at full paper scale on the congestion simulator next to the
+EVM+DBFT baseline.
+
+Run:  python examples/nasdaq_dapp.py
+"""
+
+from repro import params
+from repro.core.deployment import Deployment
+from repro.diablo import DiabloBenchmark, LoadSchedule
+from repro.net.topology import single_region_topology
+from repro.sim import simulate_chain
+from repro.sim.chains import EVM_DBFT, SRBB
+from repro.vm.executor import native_address_for
+from repro.workloads import nasdaq_trace
+from repro.workloads.nasdaq import nasdaq_request_factory
+from repro.workloads.synthetic import factory_balances
+
+
+def message_level_demo() -> None:
+    """1 % of the NASDAQ trace, executed exactly on 4 validators."""
+    trace = nasdaq_trace().scaled(0.01, name="nasdaq-1pct")
+    factory = nasdaq_request_factory(clients=16)
+    deployment = Deployment(
+        protocol=params.ProtocolParams(n=4),
+        topology=single_region_topology(4),
+        extra_balances=factory_balances(factory),
+    )
+    schedule = LoadSchedule.from_trace(trace, factory)
+    bench = DiabloBenchmark(deployment)
+    result = bench.run(schedule, grace_s=30.0)
+    print("== message-level engine (n=4, 1% trace) ==")
+    for key, value in result.summary_row().items():
+        print(f"  {key:15s} {value}")
+
+    exchange = native_address_for("exchange")
+    state = deployment.validators[0].blockchain.state
+    print("  final volumes :", {
+        sym: state.storage_get(exchange, f"volume:{sym}", 0)
+        for sym in ("AAPL", "AMZN", "FB", "MSFT", "GOOG")
+    })
+    assert result.commit_rate == 1.0
+
+
+def full_scale_demo() -> None:
+    """Full paper-scale trace on the 200-validator congestion model."""
+    trace = nasdaq_trace()
+    print("\n== congestion simulator (n=200, full trace) ==")
+    print(f"  trace: {trace.total} txs, avg {trace.avg_tps:.0f} TPS, "
+          f"peak {trace.peak_tps} TPS")
+    for model in (SRBB, EVM_DBFT):
+        result = simulate_chain(model, trace)
+        print(f"  {model.name:10s} {result.throughput_tps:8.1f} TPS, "
+              f"latency {result.avg_latency_s:6.1f} s, "
+              f"commit {result.commit_rate:6.1%}")
+
+
+if __name__ == "__main__":
+    message_level_demo()
+    full_scale_demo()

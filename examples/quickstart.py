@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: spin up a 4-validator SRBB deployment and use it.
+
+Covers the core public API in ~60 lines:
+
+* build a :class:`~repro.core.deployment.Deployment` (validators, network,
+  genesis, RPM committee),
+* submit native transfers and a smart-contract invocation from clients,
+* run the discrete-event simulation,
+* inspect chains, balances and the safety/validity guarantees.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import params
+from repro.core.deployment import Deployment, fund_clients
+from repro.core.transaction import make_invoke, make_transfer
+from repro.net.topology import single_region_topology
+from repro.vm.executor import native_address_for
+
+
+def main() -> None:
+    # -- 1. a deployment: 4 validators, one region, TVPR + RPM enabled ----
+    clients, balances = fund_clients(2)
+    alice, bob = clients
+    deployment = Deployment(
+        protocol=params.ProtocolParams(n=4, tvpr=True, rpm=True),
+        topology=single_region_topology(4),
+        extra_balances=balances,
+    )
+    deployment.start()
+
+    # -- 2. a native payment: alice pays bob ------------------------------
+    payment = make_transfer(alice, bob.address, amount=1_000, nonce=0)
+    deployment.submit(payment, validator_id=0, at=0.05)
+
+    # -- 3. a DApp call: alice trades a stock on the exchange contract ----
+    exchange = native_address_for("exchange")
+    trade = make_invoke(
+        alice, exchange, "trade", ("AAPL", 187_25, 10, "buy"), nonce=1
+    )
+    deployment.submit(trade, validator_id=1, at=0.10)
+
+    # -- 4. run five simulated seconds ------------------------------------
+    deployment.run_until(5.0)
+
+    # -- 5. inspect the outcome -------------------------------------------
+    print("chain heights :", [v.blockchain.height for v in deployment.validators])
+    print("payment commit:", deployment.committed_everywhere(payment))
+    print("trade commit  :", deployment.committed_everywhere(trade))
+    v0 = deployment.validators[0]
+    print("bob's balance :", v0.blockchain.state.balance_of(bob.address))
+    print("AAPL price    :", v0.blockchain.state.storage_get(exchange, "last_price:AAPL"))
+    print("safety holds  :", deployment.safety_holds())
+    print("states agree  :", deployment.states_agree())
+
+    assert deployment.committed_everywhere(payment)
+    assert deployment.committed_everywhere(trade)
+    assert deployment.safety_holds() and deployment.states_agree()
+    print("\nquickstart OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Smart Redbelly Blockchain (SRBB) reproduction.
+
+Top-level convenience namespace.  The usual entry points:
+
+* :class:`repro.core.deployment.Deployment` — a full message-level SRBB
+  (or baseline) deployment on the discrete-event network;
+* :mod:`repro.sim` — the 200-validator congestion simulator behind
+  Figures 2 and 3;
+* :mod:`repro.analysis.figures` — one function per paper artifact;
+* :mod:`repro.cli` / ``python -m repro`` — the command line.
+"""
+
+from repro import params
+from repro.params import ProtocolParams
+
+__version__ = "1.0.0"
+
+__all__ = ["ProtocolParams", "params", "__version__"]

@@ -1,0 +1,27 @@
+"""Byzantine validator behaviours used in the evaluation.
+
+* :class:`FloodingValidator` — §V-B's attacker: skips eager validation and
+  stuffs its block proposals with invalid transactions (senders with zero
+  balance), consuming peers' CPU and bandwidth for no throughput.
+* :class:`CensoringValidator` — §VI's drawback case: silently drops client
+  transactions instead of including them in blocks.
+* :class:`CrashValidator` — stops participating at a configured time.
+* :class:`EquivocatingProposer` — sends different proposals to different
+  peers (reliable broadcast must neutralize it).
+"""
+
+from repro.adversary.byzantine import (
+    CensoringValidator,
+    CrashValidator,
+    EquivocatingProposer,
+    FloodingValidator,
+    make_invalid_transactions,
+)
+
+__all__ = [
+    "CensoringValidator",
+    "CrashValidator",
+    "EquivocatingProposer",
+    "FloodingValidator",
+    "make_invalid_transactions",
+]

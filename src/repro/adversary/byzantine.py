@@ -1,0 +1,184 @@
+"""Byzantine validator implementations (subclasses of ValidatorNode)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.block import Block, make_block
+from repro.core.node import ValidatorNode
+from repro.core.transaction import Transaction, make_transfer
+from repro.crypto.keys import generate_keypair
+from repro.net.transport import Message
+
+
+def make_invalid_transactions(
+    count: int,
+    *,
+    seed: int = 99,
+    created_at: float = 0.0,
+    amount: int = 1,
+) -> list[Transaction]:
+    """Invalid transactions per §V-B: senders whose balance is 0 ETH.
+
+    The signatures are genuine, so only the balance checks (iv)/(v) fail —
+    exactly the class of junk a flooding validator injects to waste peer
+    resources without being trivially filterable by signature checks.
+    """
+    txs = []
+    for i in range(count):
+        broke = generate_keypair(seed * 1_000_003 + i)
+        txs.append(
+            make_transfer(
+                broke,
+                receiver=generate_keypair(seed + 1).address,
+                amount=amount,
+                nonce=0,
+                created_at=created_at,
+            )
+        )
+    return txs
+
+
+class FloodingValidator(ValidatorNode):
+    """Skips eager validation and floods blocks with invalid transactions.
+
+    Every proposal it makes carries ``flood_per_block`` invalid
+    transactions in addition to whatever legitimate transactions it
+    received (a rational attacker still wants its fees).
+    """
+
+    def __init__(
+        self,
+        *args,
+        flood_per_block: int = 100,
+        flood_total: int | None = None,
+        flood_seed: int = 99,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self.flood_per_block = flood_per_block
+        #: total invalid transactions the attacker sends (None = unbounded);
+        #: Table I fixes this at 10 000
+        self.flood_total = flood_total
+        self._flood_seed = flood_seed
+        self._flood_batch = 0
+        self.invalid_txs_proposed = 0
+
+    def _receive(self, tx: Transaction, *, from_peer: bool) -> bool:
+        # A Byzantine flooder skips eager validation entirely (saving C)
+        # and pools whatever arrives.
+        if self.blockchain.contains_tx(tx) or tx in self.pool:
+            return False
+        self.pool.add(tx, now=self.sim.now)
+        return True
+
+    def _create_block(self, index: int) -> Block:
+        self.pool.expire(self.sim.now)
+        batch = self.pool.take_batch(
+            self.protocol.max_block_txs, gas_limit=self.protocol.block_gas_limit
+        )
+        budget = self.flood_per_block
+        if self.flood_total is not None:
+            budget = min(budget, self.flood_total - self.invalid_txs_proposed)
+        flood = make_invalid_transactions(
+            max(0, budget),
+            seed=self._flood_seed + self._flood_batch,
+            created_at=self.sim.now,
+        )
+        self._flood_batch += 1
+        self.invalid_txs_proposed += len(flood)
+        return make_block(
+            self.keypair, self.node_id, index, batch + flood, round=index
+        )
+
+
+class CensoringValidator(ValidatorNode):
+    """Accepts client transactions but never includes them in blocks.
+
+    Matching §VI: under TVPR, a transaction sent only to this validator is
+    censored until the client resubmits elsewhere.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.censored = 0
+
+    def _create_block(self, index: int) -> Block:
+        self.pool.expire(self.sim.now)
+        dropped = self.pool.take_batch(
+            self.protocol.max_block_txs, gas_limit=self.protocol.block_gas_limit
+        )
+        self.censored += len(dropped)
+        return make_block(self.keypair, self.node_id, index, (), round=index)
+
+
+class CrashValidator(ValidatorNode):
+    """Participates normally until ``crash_at`` then goes silent forever."""
+
+    def __init__(self, *args, crash_at: float = 0.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.crash_at = crash_at
+
+    @property
+    def crashed(self) -> bool:
+        return self.sim.now >= self.crash_at
+
+    def on_message(self, msg: Message) -> None:
+        if self.crashed:
+            return
+        super().on_message(msg)
+
+    def _start_round(self, index: int) -> None:
+        if self.crashed:
+            return
+        super()._start_round(index)
+
+    def submit_transaction(self, tx: Transaction) -> bool:
+        if self.crashed:
+            return False
+        return super().submit_transaction(tx)
+
+
+class EquivocatingProposer(ValidatorNode):
+    """Sends one proposal to even-numbered peers and a different one to
+    odd-numbered peers.  Bracha's echo quorum ensures at most one of the
+    two can gather 2f+1 echoes, so correct nodes never deliver both."""
+
+    def _start_round(self, index: int) -> None:
+        if index in self._proposed:
+            return
+        self._proposed.add(index)
+        consensus = self._consensus_for(index)
+        block_a = self._create_block(index)
+        block_b = make_block(
+            self.keypair,
+            self.node_id,
+            index,
+            make_invalid_transactions(1, seed=index, created_at=self.sim.now),
+            round=index,
+        )
+        # Bypass the uniform RBC broadcast: hand-deliver conflicting SENDs.
+        from repro.consensus.messages import ConsensusMessage, MsgKind
+        from repro.core.node import CONSENSUS_KIND
+
+        for dst in self.network.node_ids:
+            block = block_a if dst % 2 == 0 else block_b
+            cmsg = ConsensusMessage(
+                kind=MsgKind.RBC_SEND,
+                index=index,
+                instance=self.node_id,
+                round=0,
+                value=block,
+                sender=self.node_id,
+            )
+            msg = Message(
+                kind=CONSENSUS_KIND,
+                payload=cmsg,
+                sender=self.node_id,
+                size_bytes=cmsg.approx_size(),
+            )
+            if dst == self.node_id:
+                consensus.on_message(cmsg)
+            else:
+                self.network.send(self.node_id, dst, msg)
+        self.sim.schedule(self.proposer_timeout, self._round_timeout, index)

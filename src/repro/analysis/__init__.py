@@ -1,0 +1,11 @@
+"""Artifact regeneration: one function per paper table/figure."""
+
+from repro.analysis.figures import (
+    figure1_counts,
+    figure2,
+    figure3,
+    table1,
+    tvpr_headline,
+)
+
+__all__ = ["figure1_counts", "figure2", "figure3", "table1", "tvpr_headline"]

@@ -1,0 +1,113 @@
+"""Cross-fidelity validation: engine vs model on the same scenario.
+
+The repository's two fidelity levels (message engine, tick model) are
+independent implementations of the same system.  This module runs the
+*same scaled workload* through both — an n-validator engine deployment
+executing every message and transaction, and an n-validator
+parameterization of the tick model — and compares the client-observed
+outcomes.  Agreement within a small factor is evidence that the model's
+structure (not just its calibrated constants) is right; the check runs in
+`tests/analysis/test_crossfidelity.py` and is reported in
+docs/CALIBRATION.md's spirit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.chains import ChainModel
+from repro.sim.engine import simulate_chain
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class FidelityComparison:
+    """Same scenario, two implementations."""
+
+    workload: str
+    engine_throughput_tps: float
+    model_throughput_tps: float
+    engine_commit_rate: float
+    model_commit_rate: float
+    engine_latency_s: float
+    model_latency_s: float
+
+    @property
+    def throughput_ratio(self) -> float:
+        """engine / model — 1.0 is perfect agreement."""
+        if not self.model_throughput_tps:
+            return float("inf")
+        return self.engine_throughput_tps / self.model_throughput_tps
+
+    def agrees(self, *, factor: float = 3.0) -> bool:
+        """Within ``factor`` on throughput and commit-rate direction."""
+        ratio = self.throughput_ratio
+        if not (1.0 / factor <= ratio <= factor):
+            return False
+        # commit rates must agree qualitatively (both ~full or both lossy)
+        return (self.engine_commit_rate >= 0.99) == (self.model_commit_rate >= 0.99)
+
+
+def engine_model_for(
+    n: int,
+    *,
+    round_interval_s: float,
+    per_proposer_block_txs: int,
+    execution_rate: float,
+    mempool_capacity: int,
+) -> ChainModel:
+    """Tick-model twin of an engine deployment's parameters."""
+    return ChainModel(
+        name=f"engine-twin-n{n}",
+        n=n,
+        tx_gossip=False,
+        pool_partitioned=True,
+        mempool_capacity=mempool_capacity,
+        block_interval=round_interval_s,
+        block_txs=per_proposer_block_txs,
+        proposers_per_round=n,
+        consensus_latency=round_interval_s,
+        exec_rate=execution_rate,
+    )
+
+
+def compare_fidelity(
+    workload: str,
+    *,
+    scale: float = 0.005,
+    n: int = 4,
+    grace_s: float = 30.0,
+) -> FidelityComparison:
+    """Run the scaled workload through both implementations."""
+    from repro.diablo.runner import run_dapp_workload
+    from repro.workloads import fifa_trace, nasdaq_trace, uber_trace
+
+    outcome = run_dapp_workload(workload, scale=scale, n=n, grace_s=grace_s)
+    result = outcome.result
+
+    # derive the engine deployment's effective parameters for the twin
+    node = outcome.deployment.validators[0]
+    # engine rounds: interval + execution; measured cadence ≈ interval at
+    # light scaled load, single-region latency ≈ ms
+    twin = engine_model_for(
+        n,
+        round_interval_s=node.round_interval + 0.05,
+        per_proposer_block_txs=min(
+            outcome.deployment.protocol.max_block_txs, 2_500
+        ),
+        execution_rate=node.execution_rate,
+        mempool_capacity=outcome.deployment.protocol.txpool_capacity,
+    )
+    traces = {"nasdaq": nasdaq_trace, "uber": uber_trace, "fifa": fifa_trace}
+    trace = traces[workload]().scaled(scale, name=workload)
+    model_result = simulate_chain(twin, trace, grace_s=grace_s)
+
+    return FidelityComparison(
+        workload=workload,
+        engine_throughput_tps=result.throughput_tps,
+        model_throughput_tps=model_result.throughput_tps,
+        engine_commit_rate=result.commit_rate,
+        model_commit_rate=model_result.commit_rate,
+        engine_latency_s=result.avg_latency_s,
+        model_latency_s=model_result.avg_latency_s,
+    )

@@ -1,0 +1,92 @@
+"""Multi-seed statistics for engine experiments.
+
+The paper ran DIABLO once per workload (§V: "minimal statistical
+variance ... due to a long experimental time"); the engine makes checking
+that cheap.  `replicate` runs an experiment across seeds and summarizes
+with mean, standard deviation and a bootstrap confidence interval, so any
+headline number can be quoted with its spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Replicates:
+    """Per-seed values of one metric plus summary statistics."""
+
+    name: str
+    values: tuple[float, ...]
+    seeds: tuple[int, ...]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values, ddof=1)) if len(self.values) > 1 else 0.0
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation — the paper's 'minimal variance' claim
+        is this number being small."""
+        return self.std / self.mean if self.mean else 0.0
+
+    def bootstrap_ci(
+        self, *, confidence: float = 0.95, resamples: int = 2_000, seed: int = 9
+    ) -> tuple[float, float]:
+        """Percentile-bootstrap CI of the mean."""
+        values = np.asarray(self.values)
+        if len(values) < 2:
+            return (float(values[0]), float(values[0])) if len(values) else (0.0, 0.0)
+        rng = np.random.default_rng(seed)
+        idx = rng.integers(0, len(values), size=(resamples, len(values)))
+        means = values[idx].mean(axis=1)
+        alpha = (1.0 - confidence) / 2.0
+        return (
+            float(np.quantile(means, alpha)),
+            float(np.quantile(means, 1.0 - alpha)),
+        )
+
+    def summary(self) -> str:
+        lo, hi = self.bootstrap_ci()
+        return (
+            f"{self.name}: mean {self.mean:.3f} ± {self.std:.3f} "
+            f"(95% CI [{lo:.3f}, {hi:.3f}], cv {self.cv:.1%}, "
+            f"n={len(self.values)})"
+        )
+
+
+def replicate(
+    experiment: Callable[[int], float],
+    *,
+    seeds: Sequence[int] = tuple(range(1, 6)),
+    name: str = "metric",
+) -> Replicates:
+    """Run ``experiment(seed) -> metric`` for each seed."""
+    values = tuple(float(experiment(seed)) for seed in seeds)
+    return Replicates(name=name, values=values, seeds=tuple(seeds))
+
+
+def replicate_many(
+    experiment: Callable[[int], dict],
+    *,
+    seeds: Sequence[int] = tuple(range(1, 6)),
+) -> dict[str, Replicates]:
+    """Run an experiment returning a metric dict; one Replicates per key."""
+    runs = [experiment(seed) for seed in seeds]
+    if not runs:
+        return {}
+    return {
+        key: Replicates(
+            name=key,
+            values=tuple(float(run[key]) for run in runs),
+            seeds=tuple(seeds),
+        )
+        for key in runs[0]
+    }

@@ -1,0 +1,253 @@
+"""Command-line interface: regenerate paper artifacts and run experiments.
+
+Usage (after ``pip install -e .``):
+
+    python -m repro figure2                # Figure 2 table
+    python -m repro figure3                # Figure 3 table
+    python -m repro table1 [--scale 0.1]   # Table I (message-level engine)
+    python -m repro headline               # §V-A ×55 / ÷3.5 rendition
+    python -m repro fig1                   # Figure 1 as validation counts
+    python -m repro simulate srbb fifa     # one chain × one workload
+    python -m repro saturate srbb          # max sustainable TPS (bisection)
+    python -m repro traces                 # workload envelope statistics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_figure2(args) -> int:
+    from repro.analysis.figures import figure2
+    from repro.diablo.report import format_results_table
+
+    print(format_results_table(
+        figure2(scale=args.scale),
+        title="Figure 2 — avg throughput (TPS) and commit %",
+    ))
+    return 0
+
+
+def _cmd_figure3(args) -> int:
+    from repro.analysis.figures import figure3
+    from repro.diablo.report import format_results_table
+
+    print(format_results_table(
+        figure3(scale=args.scale), title="Figure 3 — avg latency (s)"
+    ))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.analysis.figures import table1
+    from repro.diablo.report import format_table1
+
+    no_rpm, with_rpm = table1(
+        valid_count=int(20_000 * args.scale),
+        invalid_count=int(10_000 * args.scale),
+        flood_per_block=max(50, int(2_500 * args.scale)),
+    )
+    print(format_table1(no_rpm.as_report_mapping(), with_rpm.as_report_mapping()))
+    gain = with_rpm.throughput_tps / no_rpm.throughput_tps - 1
+    print(f"RPM gain: {gain:+.1%} (paper: +7%)")
+    return 0
+
+
+def _cmd_headline(args) -> int:
+    from repro.analysis.figures import tvpr_headline
+
+    h = tvpr_headline()
+    print(f"SRBB     : {h.srbb_tps:9.1f} TPS   {h.srbb_latency_s:6.1f} s")
+    print(f"EVM+DBFT : {h.baseline_tps:9.1f} TPS   {h.baseline_latency_s:6.1f} s")
+    print(f"ratios   : ×{h.throughput_ratio:.1f} throughput (paper ×55), "
+          f"÷{h.latency_ratio:.1f} latency (paper ÷3.5)")
+    return 0
+
+
+def _cmd_fig1(args) -> int:
+    from repro.analysis.figures import figure1_counts
+
+    counts = figure1_counts(n=args.n, txs=args.txs)
+    for mode, row in counts.items():
+        print(f"{mode:7s} eager validations/tx: "
+              f"{row['eager_validations_per_tx']:.1f}   "
+              f"tx gossip messages: {row['tx_gossip_messages']}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.sim.chains import chain_model
+    from repro.sim.engine import simulate_chain
+    from repro.workloads import fifa_trace, nasdaq_trace, uber_trace
+
+    traces = {
+        "nasdaq": nasdaq_trace, "uber": uber_trace, "fifa": fifa_trace,
+    }
+    trace = traces[args.workload]()
+    if args.scale != 1.0:
+        trace = trace.scaled(args.scale, name=trace.name)
+    result = simulate_chain(chain_model(args.chain), trace)
+    for key, value in result.summary_row().items():
+        print(f"{key:15s} {value}")
+    return 0
+
+
+def _cmd_saturate(args) -> int:
+    from repro.sim.chains import chain_model
+    from repro.sim.sweep import saturation_throughput
+
+    rate = saturation_throughput(chain_model(args.chain), duration_s=args.duration)
+    print(f"{args.chain}: sustains ~{rate} TPS with ≥99.9% commit")
+    return 0
+
+
+def _cmd_dapp(args) -> int:
+    from repro.diablo.runner import run_dapp_workload
+
+    outcome = run_dapp_workload(
+        args.workload, scale=args.scale, n=args.n,
+        tvpr=not args.no_tvpr, rpm=args.rpm,
+    )
+    for key, value in outcome.result.summary_row().items():
+        print(f"{key:15s} {value}")
+    print(f"{'safety':15s} {outcome.safety_holds}")
+    print(f"{'states agree':15s} {outcome.states_agree}")
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    from repro.analysis.timeseries import congestion_series
+    from repro.sim.chains import chain_model
+    from repro.workloads import fifa_trace, nasdaq_trace, uber_trace
+
+    traces = {"nasdaq": nasdaq_trace, "uber": uber_trace, "fifa": fifa_trace}
+    trace = traces[args.workload]()
+    if args.scale != 1.0:
+        trace = trace.scaled(args.scale, name=trace.name)
+    result, series = congestion_series(chain_model(args.chain), trace)
+    print(series.render(width=args.width))
+    onset = series.congestion_onset_s()
+    print(f"  throughput {result.throughput_tps:.1f} TPS, "
+          f"latency {result.avg_latency_s:.1f} s, "
+          f"commit {result.commit_rate:.1%}, "
+          f"congestion onset: {'never' if onset is None else f'{onset:.0f}s'}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import build_report
+
+    text = build_report(
+        include_table1=not args.skip_table1, table1_scale=args.table1_scale
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_traces(args) -> int:
+    from repro.workloads import fifa_trace, nasdaq_trace, uber_trace
+    from repro.workloads.replay import trace_stats
+
+    from repro.diablo.report import format_results_table
+
+    rows = [
+        trace_stats(trace_fn()).as_row()
+        for trace_fn in (nasdaq_trace, uber_trace, fifa_trace)
+    ]
+    print(format_results_table(rows, title="DIABLO DApp workload envelopes"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Smart Redbelly Blockchain reproduction — regenerate "
+        "the paper's tables and figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figure2", help="Fig. 2: throughput + commit %")
+    p.add_argument("--scale", type=float, default=1.0, help="workload rate scale")
+    p.set_defaults(fn=_cmd_figure2)
+
+    p = sub.add_parser("figure3", help="Fig. 3: latency")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(fn=_cmd_figure3)
+
+    p = sub.add_parser("table1", help="Table I: RPM under flooding")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="scale of the 20K/10K transaction counts")
+    p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser("headline", help="§V-A SRBB vs EVM+DBFT ratios")
+    p.set_defaults(fn=_cmd_headline)
+
+    p = sub.add_parser("fig1", help="Fig. 1 as measured validation counts")
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--txs", type=int, default=16)
+    p.set_defaults(fn=_cmd_fig1)
+
+    p = sub.add_parser("simulate", help="one chain × one workload")
+    p.add_argument("chain", choices=[
+        "srbb", "evm+dbft", "algorand", "avalanche", "diem",
+        "ethereum", "quorum", "solana",
+    ])
+    p.add_argument("workload", choices=["nasdaq", "uber", "fifa"])
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser("saturate", help="max sustainable TPS (bisection)")
+    p.add_argument("chain", choices=[
+        "srbb", "evm+dbft", "algorand", "avalanche", "diem",
+        "ethereum", "quorum", "solana",
+    ])
+    p.add_argument("--duration", type=int, default=30)
+    p.set_defaults(fn=_cmd_saturate)
+
+    p = sub.add_parser("traces", help="workload envelope statistics")
+    p.set_defaults(fn=_cmd_traces)
+
+    p = sub.add_parser(
+        "dapp", help="run a DApp workload on the message-level engine"
+    )
+    p.add_argument("workload", choices=["nasdaq", "uber", "fifa"])
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--n", type=int, default=4)
+    p.add_argument("--no-tvpr", action="store_true",
+                   help="modern-blockchain mode (gossip everything)")
+    p.add_argument("--rpm", action="store_true")
+    p.set_defaults(fn=_cmd_dapp)
+
+    p = sub.add_parser("watch", help="sparkline congestion series for one run")
+    p.add_argument("chain", choices=[
+        "srbb", "evm+dbft", "algorand", "avalanche", "diem",
+        "ethereum", "quorum", "solana",
+    ])
+    p.add_argument("workload", choices=["nasdaq", "uber", "fifa"])
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--width", type=int, default=60)
+    p.set_defaults(fn=_cmd_watch)
+
+    p = sub.add_parser("report", help="regenerate the full markdown report")
+    p.add_argument("--output", "-o", default=None, help="write to a file")
+    p.add_argument("--skip-table1", action="store_true",
+                   help="skip the (slow) message-level Table I run")
+    p.add_argument("--table1-scale", type=float, default=1.0)
+    p.set_defaults(fn=_cmd_report)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Consensus substrate: DBFT + RBBC superblock set consensus.
+
+* :mod:`repro.consensus.dbft` — leaderless binary Byzantine consensus in
+  the style of Crain-Gramoli-Larrea-Raynal (BV-broadcast rounds with a weak
+  coordinator hint and a round-parity fallback).
+* :mod:`repro.consensus.broadcast` — Bracha reliable broadcast used to
+  disseminate block proposals.
+* :mod:`repro.consensus.superblock` — the Red Belly superblock
+  optimization: one binary instance per proposer; the decided superblock is
+  the union of the proposals whose instance decided 1.
+"""
+
+from repro.consensus.messages import ConsensusMessage, MsgKind
+from repro.consensus.dbft import BinaryConsensus
+from repro.consensus.broadcast import ReliableBroadcast
+from repro.consensus.superblock import SuperBlockConsensus
+
+__all__ = [
+    "BinaryConsensus",
+    "ConsensusMessage",
+    "MsgKind",
+    "ReliableBroadcast",
+    "SuperBlockConsensus",
+]

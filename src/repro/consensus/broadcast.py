@@ -1,0 +1,151 @@
+"""Bracha reliable broadcast for block proposals.
+
+Guarantees with f < n/3 Byzantine:
+
+* **Validity** — if the (correct) broadcaster sends m, every correct node
+  delivers m.
+* **Agreement/totality** — if any correct node delivers m, every correct
+  node eventually delivers m (and no two correct nodes deliver different
+  payloads for the same broadcaster slot).
+
+ECHO and READY carry the payload alongside its digest so a node that never
+received the original SEND (Byzantine broadcaster) can still assemble the
+message — a simplification over hash-then-fetch that suits a simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.consensus.messages import ConsensusMessage, MsgKind
+from repro.crypto.hashing import hash_items
+
+
+def _digest(payload: Any) -> bytes:
+    if hasattr(payload, "block_hash"):
+        return payload.block_hash
+    if isinstance(payload, bytes):
+        return hash_items([payload])
+    return hash_items([repr(payload)])
+
+
+@dataclass
+class _SlotState:
+    """State for one broadcaster slot."""
+
+    echo_senders: dict[bytes, set[int]] = field(default_factory=dict)
+    ready_senders: dict[bytes, set[int]] = field(default_factory=dict)
+    payloads: dict[bytes, Any] = field(default_factory=dict)
+    echoed: bool = False
+    ready_sent: bool = False
+    delivered: bool = False
+
+
+class ReliableBroadcast:
+    """Per-node RBC endpoint multiplexing all broadcaster slots of an index."""
+
+    def __init__(
+        self,
+        *,
+        n: int,
+        f: int,
+        my_id: int,
+        index: int,
+        broadcast: Callable[[ConsensusMessage], None],
+        on_deliver: Callable[[int, Any], None],
+        passive: bool = False,
+    ):
+        #: passive observers count echoes/readies and deliver, never send
+        self.passive = passive
+        self.n = n
+        self.f = f
+        self.my_id = my_id
+        self.index = index
+        self._broadcast = broadcast
+        self._on_deliver = on_deliver
+        self._slots: dict[int, _SlotState] = {}
+
+    def _slot(self, instance: int) -> _SlotState:
+        if instance not in self._slots:
+            self._slots[instance] = _SlotState()
+        return self._slots[instance]
+
+    def _send(self, kind: MsgKind, instance: int, value: Any) -> None:
+        if self.passive:
+            return
+        self._broadcast(
+            ConsensusMessage(
+                kind=kind,
+                index=self.index,
+                instance=instance,
+                round=0,
+                value=value,
+                sender=self.my_id,
+            )
+        )
+
+    # -- API --------------------------------------------------------------------
+
+    def broadcast_payload(self, payload: Any) -> None:
+        """RBC-broadcast ``payload`` in this node's own slot."""
+        self._send(MsgKind.RBC_SEND, self.my_id, payload)
+
+    def on_message(self, msg: ConsensusMessage) -> None:
+        slot = self._slot(msg.instance)
+        if msg.kind is MsgKind.RBC_SEND:
+            # Only the slot owner's SEND counts (others are Byzantine noise).
+            if msg.sender != msg.instance or slot.echoed:
+                return
+            slot.echoed = True
+            digest = _digest(msg.value)
+            slot.payloads[digest] = msg.value
+            self._send(MsgKind.RBC_ECHO, msg.instance, (digest, msg.value))
+            # Count our own echo implicitly via loopback delivery.
+        elif msg.kind is MsgKind.RBC_ECHO:
+            digest, payload = msg.value
+            senders = slot.echo_senders.setdefault(digest, set())
+            if msg.sender in senders:
+                return
+            senders.add(msg.sender)
+            slot.payloads.setdefault(digest, payload)
+            self._check_ready(msg.instance, digest)
+        elif msg.kind is MsgKind.RBC_READY:
+            digest, payload = msg.value
+            senders = slot.ready_senders.setdefault(digest, set())
+            if msg.sender in senders:
+                return
+            senders.add(msg.sender)
+            if payload is not None:
+                slot.payloads.setdefault(digest, payload)
+            self._check_ready(msg.instance, digest)
+            self._check_deliver(msg.instance, digest)
+
+    # -- thresholds ----------------------------------------------------------------
+
+    def _check_ready(self, instance: int, digest: bytes) -> None:
+        slot = self._slot(instance)
+        if slot.ready_sent:
+            return
+        echoes = len(slot.echo_senders.get(digest, ()))
+        readys = len(slot.ready_senders.get(digest, ()))
+        if echoes >= 2 * self.f + 1 or readys >= self.f + 1:
+            slot.ready_sent = True
+            payload = slot.payloads.get(digest)
+            self._send(MsgKind.RBC_READY, instance, (digest, payload))
+            self._check_deliver(instance, digest)
+
+    def _check_deliver(self, instance: int, digest: bytes) -> None:
+        slot = self._slot(instance)
+        if slot.delivered:
+            return
+        readys = len(slot.ready_senders.get(digest, ()))
+        if readys >= 2 * self.f + 1 and digest in slot.payloads:
+            payload = slot.payloads[digest]
+            if payload is None:
+                return  # wait until someone forwards the payload
+            slot.delivered = True
+            self._on_deliver(instance, payload)
+
+    def delivered(self, instance: int) -> bool:
+        return self._slot(instance).delivered

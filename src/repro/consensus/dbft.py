@@ -1,0 +1,265 @@
+"""DBFT-style leaderless binary Byzantine consensus.
+
+Round structure (Mostéfaoui-Moumen-Raynal BV-broadcast core, as used by
+DBFT, with DBFT's weak-coordinator hint and a deterministic round-parity
+fallback in place of the common coin):
+
+1. **BV-broadcast** — every node broadcasts ``BVAL(r, est)``.  A node that
+   receives ``f+1`` BVALs for a value echoes it (so a value backed by one
+   correct node reaches everyone); a value with ``2f+1`` BVALs enters
+   ``bin_values[r]`` (so every value in ``bin_values`` was proposed by a
+   correct node — Byzantine-only values never get 2f+1).
+2. **AUX** — once ``bin_values[r]`` is non-empty the node broadcasts one of
+   its values (preferring the round coordinator's suggestion when it is
+   already in ``bin_values``).
+3. **Collect** — wait for ``n − f`` AUX messages whose values all lie in
+   ``bin_values[r]``; let ``values`` be the set of their values.
+   * ``values == {v}`` and ``v == r mod 2`` → **decide v** (and keep
+     participating for two more rounds so laggards can decide too);
+   * ``values == {v}`` → ``est = v``;
+   * otherwise → ``est = r mod 2``.
+
+Safety (agreement + validity) is unconditional; termination holds for all
+fair schedules (the classic FLP-style adversarial schedule can delay it,
+which the property tests acknowledge by bounding rounds generously).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.consensus.messages import ConsensusMessage, MsgKind
+from repro.errors import ConsensusError
+
+#: Rounds a decided node keeps participating so peers can finish.
+GRACE_ROUNDS = 2
+#: Hard cap: a correct run of this protocol decides in a handful of rounds;
+#: hitting the cap indicates a broken schedule and fails loudly.
+MAX_ROUNDS = 64
+
+
+@dataclass
+class _RoundState:
+    """Per-round bookkeeping (sender sets prevent Byzantine double votes)."""
+
+    bval_senders: dict[int, set[int]] = field(default_factory=dict)  # value -> senders
+    bval_echoed: set[int] = field(default_factory=set)  # values we echoed
+    bin_values: set[int] = field(default_factory=set)
+    aux_senders: dict[int, int] = field(default_factory=dict)  # sender -> value
+    aux_sent: bool = False
+    coord_value: int | None = None
+
+
+class BinaryConsensus:
+    """One binary consensus instance for one (chain index, proposer) slot."""
+
+    def __init__(
+        self,
+        *,
+        n: int,
+        f: int,
+        my_id: int,
+        index: int,
+        instance: int,
+        broadcast: Callable[[ConsensusMessage], None],
+        on_decide: Callable[[int, int], None],
+        passive: bool = False,
+        coin: str = "parity",
+    ):
+        if not f < n / 3:
+            raise ConsensusError(f"requires f < n/3 (n={n}, f={f})")
+        if coin not in ("parity", "hash"):
+            raise ConsensusError(f"unknown coin scheme {coin!r}")
+        #: fallback-value scheme: "parity" (r mod 2, the deterministic
+        #: DBFT-style fallback) or "hash" (a shared pseudo-random coin
+        #: derived from (index, instance, round) — harder for a schedule
+        #: adversary to predict rounds ahead, same agreement proof)
+        self.coin = coin
+        #: passive observers track thresholds and decide, but never send —
+        #: how non-committee full nodes stay in sync under reconfiguration
+        self.passive = passive
+        self.n = n
+        self.f = f
+        self.my_id = my_id
+        self.index = index
+        self.instance = instance
+        self._broadcast = broadcast
+        self._on_decide = on_decide
+
+        self.est: int | None = None
+        self.round = 0
+        self.decided: int | None = None
+        self._decided_round: int | None = None
+        self._rounds: dict[int, _RoundState] = {}
+        self._started = False
+
+    # -- public API -----------------------------------------------------------
+
+    def propose(self, value: int) -> None:
+        """Input this node's estimate (0 or 1); idempotent."""
+        if value not in (0, 1):
+            raise ConsensusError(f"binary value required, got {value!r}")
+        if self.passive:
+            raise ConsensusError("passive observers cannot propose")
+        if self._started:
+            return
+        self._started = True
+        self.est = value
+        self.round = 1
+        self._start_round()
+
+    def observe(self) -> None:
+        """Start tracking as a passive observer (no input, no messages)."""
+        if self._started:
+            return
+        self._started = True
+        self.round = 1
+        self._start_round()
+
+    @property
+    def has_input(self) -> bool:
+        return self._started
+
+    def on_message(self, msg: ConsensusMessage) -> None:
+        """Feed a BVAL/AUX/COORD message addressed to this instance."""
+        if msg.round > MAX_ROUNDS:
+            return
+        state = self._round_state(msg.round)
+        if msg.kind is MsgKind.BVAL:
+            value = int(msg.value)
+            if value not in (0, 1):
+                return  # Byzantine garbage
+            senders = state.bval_senders.setdefault(value, set())
+            if msg.sender in senders:
+                return  # duplicate vote
+            senders.add(msg.sender)
+            self._check_bval(msg.round, value)
+        elif msg.kind is MsgKind.AUX:
+            value = int(msg.value)
+            if value not in (0, 1) or msg.sender in state.aux_senders:
+                return
+            state.aux_senders[msg.sender] = value
+            self._try_advance(msg.round)
+        elif msg.kind is MsgKind.COORD:
+            coord = (msg.round - 1) % self.n
+            if msg.sender == coord and state.coord_value is None:
+                value = int(msg.value)
+                if value in (0, 1):
+                    state.coord_value = value
+                    self._maybe_send_aux(msg.round)
+
+    # -- internals -----------------------------------------------------------
+
+    def _round_state(self, r: int) -> _RoundState:
+        if r not in self._rounds:
+            self._rounds[r] = _RoundState()
+        return self._rounds[r]
+
+    def _participating(self) -> bool:
+        """Whether this node still sends messages (grace after decide)."""
+        if self.decided is None:
+            return True
+        assert self._decided_round is not None
+        return self.round <= self._decided_round + GRACE_ROUNDS
+
+    def _send(self, kind: MsgKind, round_: int, value: int) -> None:
+        if self.passive:
+            return
+        self._broadcast(
+            ConsensusMessage(
+                kind=kind,
+                index=self.index,
+                instance=self.instance,
+                round=round_,
+                value=value,
+                sender=self.my_id,
+            )
+        )
+
+    def _start_round(self) -> None:
+        if not self._participating():
+            return
+        if self.round > MAX_ROUNDS:
+            raise ConsensusError(
+                f"binary consensus exceeded {MAX_ROUNDS} rounds "
+                f"(index={self.index}, instance={self.instance})"
+            )
+        if not self.passive:
+            assert self.est is not None
+            coord = (self.round - 1) % self.n
+            if self.my_id == coord:
+                self._send(MsgKind.COORD, self.round, self.est)
+            state = self._round_state(self.round)
+            if self.est not in state.bval_echoed:
+                state.bval_echoed.add(self.est)
+                self._send(MsgKind.BVAL, self.round, self.est)
+        # BVALs may have arrived before we started this round.
+        for value in (0, 1):
+            self._check_bval(self.round, value)
+        self._try_advance(self.round)
+
+    def _check_bval(self, r: int, value: int) -> None:
+        state = self._round_state(r)
+        count = len(state.bval_senders.get(value, ()))
+        # Echo once f+1 distinct nodes back the value (amplification).
+        if count >= self.f + 1 and value not in state.bval_echoed:
+            state.bval_echoed.add(value)
+            if r <= self.round + 1 and self._participating():
+                self._send(MsgKind.BVAL, r, value)
+        # 2f+1 distinct BVALs: at least one correct proposer → bin_values.
+        if count >= 2 * self.f + 1 and value not in state.bin_values:
+            state.bin_values.add(value)
+            self._maybe_send_aux(r)
+            self._try_advance(r)
+
+    def _maybe_send_aux(self, r: int) -> None:
+        state = self._round_state(r)
+        if state.aux_sent or not state.bin_values or r != self.round:
+            return
+        if not self._participating():
+            return
+        if state.coord_value is not None and state.coord_value in state.bin_values:
+            value = state.coord_value
+        else:
+            value = min(state.bin_values)
+        state.aux_sent = True
+        self._send(MsgKind.AUX, r, value)
+
+    def _try_advance(self, r: int) -> None:
+        """Check the round-r exit condition and move to round r+1."""
+        if r != self.round or not self._started:
+            return
+        state = self._round_state(r)
+        self._maybe_send_aux(r)
+        if not state.bin_values:
+            return
+        # n−f AUX messages whose values are all in bin_values.
+        valid = {
+            sender: value
+            for sender, value in state.aux_senders.items()
+            if value in state.bin_values
+        }
+        if len(valid) < self.n - self.f:
+            return
+        values = set(valid.values())
+        coin = self._coin(r)
+        if len(values) == 1:
+            (v,) = values
+            if v == coin and self.decided is None:
+                self.decided = v
+                self._decided_round = r
+                self._on_decide(self.instance, v)
+            self.est = v
+        else:
+            self.est = coin
+        self.round = r + 1
+        self._start_round()
+
+    def _coin(self, r: int) -> int:
+        """Round fallback value, identical at every correct node."""
+        if self.coin == "parity":
+            return r % 2
+        from repro.crypto.hashing import hash_items
+
+        return hash_items(["coin", self.index, self.instance, r])[0] & 1

@@ -1,0 +1,233 @@
+"""Leader-based BFT consensus (PBFT/IBFT-style) for the engine.
+
+The six modern chains of Figures 2-3 are leader-based: one proposer per
+round, a prepare/commit quorum certificate, view change on leader
+failure.  This module implements that family so the message-level engine
+can run the superblock-vs-single-leader comparison natively (the §VI
+argument: with one proposer per round, per-round capacity is one block,
+and a slow or censoring leader stalls everyone until a view change).
+
+Protocol per (index, view):
+
+* leader = (index + view) mod n proposes ``PROPOSAL(block)``;
+* replicas validate the header and broadcast ``PREPARE(digest)``;
+* on 2f+1 PREPAREs → broadcast ``COMMIT(digest)``;
+* on 2f+1 COMMITs (for a proposal they hold) → decide;
+* a view timer fires after ``view_timeout`` → ``VIEWCHANGE(view+1)``;
+  2f+1 VIEWCHANGE messages start the next view with a new leader.
+
+Safety comes from quorum intersection exactly as in PBFT (any two 2f+1
+quorums share a correct replica; a correct replica PREPAREs at most one
+digest per view).  This is the textbook single-decree core — sufficient
+for the engine's comparisons, not a full PBFT with checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.block import Block
+
+# Leader-protocol message kinds are plain strings carried in the generic
+# ConsensusMessage.kind-compatible slot via value payloads; to keep the
+# wire type shared we reuse ConsensusMessage with these pseudo-kinds.
+PROPOSAL = "ldr-proposal"
+PREPARE = "ldr-prepare"
+COMMIT = "ldr-commit"
+VIEWCHANGE = "ldr-viewchange"
+
+
+@dataclass(frozen=True)
+class LeaderMessage:
+    """Wire message for the leader protocol."""
+
+    kind: str
+    index: int
+    view: int
+    payload: Any
+    sender: int
+
+    def approx_size(self) -> int:
+        if isinstance(self.payload, Block):
+            return 64 + self.payload.encoded_size()
+        return 96
+
+
+@dataclass
+class _ViewState:
+    proposal: Block | None = None
+    prepared_digest: bytes | None = None  # what we PREPAREd (at most one)
+    prepares: dict[bytes, set[int]] = field(default_factory=dict)
+    commits: dict[bytes, set[int]] = field(default_factory=dict)
+    commit_sent: bool = False
+    viewchange_votes: set[int] = field(default_factory=set)
+
+
+class LeaderConsensus:
+    """One consensus slot (chain index) of the leader protocol."""
+
+    def __init__(
+        self,
+        *,
+        n: int,
+        f: int,
+        my_id: int,
+        index: int,
+        send: Callable[[LeaderMessage], None],
+        on_decide: Callable[[Block], None],
+        validate: Callable[[Block], bool] | None = None,
+        schedule_timeout: Callable[[float, Callable[[], None]], None] | None = None,
+        view_timeout: float = 2.0,
+    ):
+        self.n, self.f = n, f
+        self.my_id = my_id
+        self.index = index
+        self._send = send
+        self._on_decide = on_decide
+        self._validate = validate or (lambda b: b.header_valid())
+        self._schedule_timeout = schedule_timeout
+        self.view_timeout = view_timeout
+
+        self.view = 0
+        self.decided: Block | None = None
+        self._views: dict[int, _ViewState] = {}
+        self._block_source: Callable[[], Block] | None = None
+        self._arm_timer()
+
+    # -- helpers ------------------------------------------------------------------
+
+    def leader_of(self, view: int) -> int:
+        return (self.index + view) % self.n
+
+    def is_leader(self, view: int | None = None) -> bool:
+        return self.leader_of(self.view if view is None else view) == self.my_id
+
+    def _state(self, view: int) -> _ViewState:
+        if view not in self._views:
+            self._views[view] = _ViewState()
+        return self._views[view]
+
+    def _broadcast(self, kind: str, payload: Any, *, view: int | None = None) -> None:
+        self._send(LeaderMessage(
+            kind=kind, index=self.index,
+            view=self.view if view is None else view,
+            payload=payload, sender=self.my_id,
+        ))
+
+    def _arm_timer(self) -> None:
+        if self._schedule_timeout is None or self.decided is not None:
+            return
+        armed_view = self.view
+        self._schedule_timeout(
+            self.view_timeout, lambda: self._on_timer(armed_view)
+        )
+
+    def _on_timer(self, armed_view: int) -> None:
+        if self.decided is not None or self.view != armed_view:
+            return
+        # leader failed us: vote to move on
+        self._broadcast(VIEWCHANGE, None, view=armed_view + 1)
+        self._note_viewchange(armed_view + 1, self.my_id)
+
+    # -- API -----------------------------------------------------------------------
+
+    def start(self, block_source: Callable[[], Block]) -> None:
+        """Provide the block factory; the current leader proposes."""
+        self._block_source = block_source
+        self._maybe_propose()
+
+    def _maybe_propose(self) -> None:
+        if self.decided is not None or self._block_source is None:
+            return
+        if self.is_leader() and self._state(self.view).proposal is None:
+            block = self._block_source()
+            self._broadcast(PROPOSAL, block)
+            self._handle_proposal(self.view, block, self.my_id)
+
+    def on_message(self, msg: LeaderMessage) -> None:
+        if msg.index != self.index:
+            return
+        if msg.kind == PROPOSAL:
+            if isinstance(msg.payload, Block):
+                self._handle_proposal(msg.view, msg.payload, msg.sender)
+        elif msg.kind == PREPARE:
+            self._note_vote(msg.view, msg.payload, msg.sender, commit=False)
+        elif msg.kind == COMMIT:
+            self._note_vote(msg.view, msg.payload, msg.sender, commit=True)
+        elif msg.kind == VIEWCHANGE:
+            self._note_viewchange(msg.view, msg.sender)
+
+    # -- phases ---------------------------------------------------------------------
+
+    def _handle_proposal(self, view: int, block: Block, sender: int) -> None:
+        if view < self.view or self.decided is not None:
+            return
+        if sender != self.leader_of(view):
+            return  # only the view's leader may propose
+        state = self._state(view)
+        if state.proposal is None:
+            state.proposal = block  # equivocation: first proposal wins locally
+        self._try_prepare(view)
+        # Votes can outrun the proposal: with the block now in hand,
+        # re-evaluate a commit quorum that may already be sitting here.
+        self._try_decide(view)
+
+    def _try_prepare(self, view: int) -> None:
+        """PREPARE the current view's proposal once it is known and valid."""
+        if view != self.view or self.decided is not None:
+            return
+        state = self._state(view)
+        block = state.proposal
+        if block is None or state.prepared_digest is not None:
+            return
+        if not self._validate(block):
+            return  # bad proposal: wait for the view timer
+        state.prepared_digest = block.block_hash
+        self._broadcast(PREPARE, block.block_hash, view=view)
+        self._note_vote(view, block.block_hash, self.my_id, commit=False)
+
+    def _note_vote(self, view: int, digest: Any, sender: int, *, commit: bool) -> None:
+        if not isinstance(digest, bytes) or self.decided is not None:
+            return
+        state = self._state(view)
+        votes = state.commits if commit else state.prepares
+        voters = votes.setdefault(digest, set())
+        if sender in voters:
+            return
+        voters.add(sender)
+        quorum = 2 * self.f + 1
+        if not commit:
+            if len(voters) >= quorum and not state.commit_sent and view == self.view:
+                state.commit_sent = True
+                self._broadcast(COMMIT, digest, view=view)
+                self._note_vote(view, digest, self.my_id, commit=True)
+        else:
+            self._try_decide(view)
+
+    def _try_decide(self, view: int) -> None:
+        if self.decided is not None:
+            return
+        state = self._state(view)
+        if state.proposal is None:
+            return
+        voters = state.commits.get(state.proposal.block_hash, ())
+        if len(voters) >= 2 * self.f + 1:
+            self.decided = state.proposal
+            self._on_decide(state.proposal)
+
+    def _note_viewchange(self, new_view: int, sender: int) -> None:
+        if new_view <= self.view or self.decided is not None:
+            return
+        state = self._state(new_view)
+        state.viewchange_votes.add(sender)
+        # f+1 suffices to join (someone correct timed out); 2f+1 to move.
+        if len(state.viewchange_votes) == self.f + 1 and self.my_id not in state.viewchange_votes:
+            self._broadcast(VIEWCHANGE, None, view=new_view)
+            state.viewchange_votes.add(self.my_id)
+        if len(state.viewchange_votes) >= 2 * self.f + 1:
+            self.view = new_view
+            self._arm_timer()
+            self._maybe_propose()
+            # a proposal may have raced ahead of the view change
+            self._try_prepare(new_view)

@@ -1,0 +1,48 @@
+"""Wire messages exchanged by the consensus protocols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+
+class MsgKind(Enum):
+    # binary consensus (DBFT)
+    BVAL = "bval"  # BV-broadcast estimate
+    AUX = "aux"  # auxiliary phase value
+    COORD = "coord"  # weak-coordinator suggestion
+    # reliable broadcast (Bracha)
+    RBC_SEND = "rbc-send"
+    RBC_ECHO = "rbc-echo"
+    RBC_READY = "rbc-ready"
+
+
+@dataclass(frozen=True)
+class ConsensusMessage:
+    """One consensus protocol message.
+
+    ``index`` is the chain index (consensus iteration k), ``instance`` the
+    per-proposer binary instance id (or the RBC broadcaster id), ``round``
+    the binary-consensus round, ``value`` the payload (0/1 estimate, or the
+    RBC payload/digest).
+    """
+
+    kind: MsgKind
+    index: int
+    instance: int
+    round: int
+    value: Any
+    sender: int
+
+    def approx_size(self) -> int:
+        """Rough wire size in bytes for traffic accounting."""
+        base = 64
+        value = self.value
+        if isinstance(value, (bytes, bytearray)):
+            return base + len(value)
+        if hasattr(value, "encoded_size"):
+            return base + value.encoded_size()
+        if isinstance(value, tuple) and value and hasattr(value[0], "encoded_size"):
+            return base + sum(v.encoded_size() for v in value)
+        return base

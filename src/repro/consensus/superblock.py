@@ -1,0 +1,180 @@
+"""Red Belly superblock set consensus (one chain index).
+
+Every validator RBC-broadcasts its block proposal; one DBFT binary
+instance per proposer slot then decides whether that proposal enters the
+superblock.  Protocol per correct node:
+
+* on RBC-delivery of a proposal with a valid header → input 1 to that
+  slot's binary instance (invalid-header proposals are discarded, Alg. 1
+  line 16, and the slot gets a 0 input);
+* once ``n − f`` slots decided 1 → input 0 to every slot still lacking an
+  input (so the round terminates even with silent proposers);
+* a proposer-silence timeout also inputs 0 (safety net before the n−f
+  trigger fires);
+* when **all** slots have decided and every decided-1 slot's proposal has
+  been RBC-delivered (totality guarantees it will be), the superblock —
+  the decided-1 proposals ordered by proposer id — is final.
+
+Binary validity gives the key property: a slot decides 1 only if some
+correct node input 1, i.e. some correct node RBC-delivered a valid
+proposal — so every block in the superblock is available everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.consensus.broadcast import ReliableBroadcast
+from repro.consensus.dbft import BinaryConsensus
+from repro.consensus.messages import ConsensusMessage, MsgKind
+from repro.core.block import Block, SuperBlock
+from repro.errors import ConsensusError
+
+_RBC_KINDS = (MsgKind.RBC_SEND, MsgKind.RBC_ECHO, MsgKind.RBC_READY)
+
+
+class SuperBlockConsensus:
+    """Per-node driver for one consensus iteration (chain index)."""
+
+    def __init__(
+        self,
+        *,
+        n: int,
+        f: int,
+        my_id: int,
+        index: int,
+        broadcast: Callable[[ConsensusMessage], None],
+        on_superblock: Callable[[SuperBlock], None],
+        validate_header: Callable[[Block], bool] | None = None,
+        on_undecided_block: Callable[[Block], None] | None = None,
+        passive: bool = False,
+    ):
+        #: passive observation: track every threshold, send nothing —
+        #: full nodes outside the epoch's committee stay in lock-step
+        self.passive = passive
+        self.n = n
+        self.f = f
+        self.my_id = my_id
+        self.index = index
+        self._broadcast = broadcast
+        self._on_superblock = on_superblock
+        self._validate_header = validate_header or (lambda b: b.header_valid())
+        #: invoked for proposals RBC-delivered *after* the round finished
+        #: whose slot was decided 0 — Alg. 1 lines 28-31 must recycle them
+        #: too, else their transactions leak (RBC totality guarantees the
+        #: delivery, but not before the decision)
+        self._on_undecided_block = on_undecided_block
+
+        self.proposals: dict[int, Block] = {}
+        self.decisions: dict[int, int] = {}
+        self.finished = False
+        self.superblock: SuperBlock | None = None
+        #: proposals RBC-delivered but with invalid headers (discarded)
+        self.discarded_headers: list[int] = []
+
+        self.rbc = ReliableBroadcast(
+            n=n, f=f, my_id=my_id, index=index,
+            broadcast=broadcast, on_deliver=self._on_rbc_deliver,
+            passive=passive,
+        )
+        self.instances = {
+            i: BinaryConsensus(
+                n=n, f=f, my_id=my_id, index=index, instance=i,
+                broadcast=broadcast, on_decide=self._on_decide,
+                passive=passive,
+            )
+            for i in range(n)
+        }
+        if passive:
+            for instance in self.instances.values():
+                instance.observe()
+
+    # -- inputs -------------------------------------------------------------------
+
+    def propose(self, block: Block) -> None:
+        """Submit this node's own proposal for the round."""
+        if self.passive:
+            raise ConsensusError("passive observers cannot propose blocks")
+        self.rbc.broadcast_payload(block)
+
+    def timeout_silent_proposers(self) -> None:
+        """Safety net: give 0 to every slot whose proposal never arrived."""
+        if self.passive:
+            return
+        for i, instance in self.instances.items():
+            if not instance.has_input:
+                instance.propose(0)
+
+    def on_message(self, msg: ConsensusMessage) -> None:
+        if msg.index != self.index:
+            return
+        if msg.kind in _RBC_KINDS:
+            self.rbc.on_message(msg)
+        else:
+            instance = self.instances.get(msg.instance)
+            if instance is not None:
+                instance.on_message(msg)
+                self._check_done()
+
+    # -- callbacks -----------------------------------------------------------------
+
+    def _vote(self, instance_id: int, value: int) -> None:
+        """Input a vote unless observing or already input."""
+        instance = self.instances[instance_id]
+        if not self.passive and not instance.has_input:
+            instance.propose(value)
+
+    def _on_rbc_deliver(self, instance_id: int, payload: Any) -> None:
+        if not isinstance(payload, Block):
+            # Byzantine garbage proposal: vote this slot out.
+            self._vote(instance_id, 0)
+            return
+        block = payload
+        if self.finished:
+            # Late delivery: the round is over.  If this slot was voted
+            # out, hand the block to the recycler (Alg. 1 line 31).
+            self.proposals[instance_id] = block
+            if self.decisions.get(instance_id) == 0 and self._on_undecided_block:
+                self._on_undecided_block(block)
+            return
+        # Store the delivered payload unconditionally: validity only drives
+        # our *vote*.  If consensus decides 1 against our local judgement
+        # (validators may transiently disagree, e.g. on RPM exclusions),
+        # the commit loop still needs the block — its invalid transactions
+        # are discarded at execution time.
+        self.proposals[instance_id] = block
+        if self._validate_header(block):
+            self._vote(instance_id, 1)
+        else:
+            # Alg. 1 line 16: discard blocks with invalid headers.
+            self.discarded_headers.append(instance_id)
+            self._vote(instance_id, 0)
+        self._check_done()
+
+    def _on_decide(self, instance_id: int, value: int) -> None:
+        self.decisions[instance_id] = value
+        if value == 1 and not self.passive:
+            ones = sum(1 for v in self.decisions.values() if v == 1)
+            if ones >= self.n - self.f:
+                # RBBC rule: enough proposals are in — close the round by
+                # voting 0 on everything still undecided on our side.
+                for i in self.instances:
+                    self._vote(i, 0)
+        self._check_done()
+
+    # -- completion -----------------------------------------------------------------
+
+    def _check_done(self) -> None:
+        if self.finished or len(self.decisions) < self.n:
+            return
+        accepted = sorted(i for i, v in self.decisions.items() if v == 1)
+        # Totality: every decided-1 proposal will arrive; wait if needed.
+        if any(i not in self.proposals for i in accepted):
+            return
+        self.finished = True
+        self.superblock = SuperBlock(
+            index=self.index,
+            blocks=tuple(self.proposals[i] for i in accepted),
+        )
+        self._on_superblock(self.superblock)

@@ -1,0 +1,252 @@
+"""A complete leader-based blockchain node — the modern-chain archetype.
+
+Combines everything the paper says a modern blockchain does: clients
+gossip transactions to every validator (eager validation at each hop),
+one leader per height proposes a block, a PBFT-style quorum commits it.
+Together with :class:`~repro.core.node.ValidatorNode` (SRBB) this gives
+the engine both ends of Figure 1 as *whole systems*, not just consensus
+cores: `LeaderChainDeployment` is the engine-level analogue of the
+`evm+dbft`-vs-`srbb` model comparison, at small n.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro import params
+from repro.consensus.leader import LeaderConsensus, LeaderMessage
+from repro.core.block import Block, make_block
+from repro.core.blockchain import Blockchain
+from repro.core.deployment import GENESIS_BALANCE, GenesisSpec
+from repro.core.node import TX_KIND, NodeStats
+from repro.core.transaction import Transaction
+from repro.core.txpool import TxPool
+from repro.core.validation import eager_validate
+from repro.crypto.keys import KeyPair, generate_keypair
+from repro.net.gossip import GossipLayer
+from repro.net.simulator import Simulator
+from repro.net.topology import Topology, single_region_topology
+from repro.net.transport import Message, Network
+
+LEADER_KIND = "leader-consensus"
+
+
+class LeaderValidatorNode:
+    """One validator of a leader-based (PBFT-style) blockchain."""
+
+    def __init__(
+        self,
+        *,
+        node_id: int,
+        keypair: KeyPair,
+        sim: Simulator,
+        network: Network,
+        protocol: params.ProtocolParams,
+        genesis: Callable | None = None,
+        validator_addresses: tuple[str, ...] = (),
+        block_interval: float = 1.0,
+        view_timeout: float = 3.0,
+        execution_rate: float = 20_000.0,
+        registry=None,
+    ):
+        self.node_id = node_id
+        self.keypair = keypair
+        self.sim = sim
+        self.network = network
+        self.protocol = protocol
+        self.block_interval = block_interval
+        self.view_timeout = view_timeout
+        self.execution_rate = execution_rate
+        self.validator_addresses = validator_addresses
+
+        from repro.vm.state import WorldState
+
+        state = WorldState()
+        if genesis is not None:
+            genesis(state)
+        state.commit()
+        self.blockchain = Blockchain(protocol=protocol, state=state)
+        if registry is not None:
+            self.blockchain.executor.registry = registry
+        self.pool = TxPool(capacity=protocol.txpool_capacity, ttl=protocol.tx_ttl)
+        self.stats = NodeStats()
+        self._instances: dict[int, LeaderConsensus] = {}
+        self._decided: dict[int, Block] = {}
+        self._next_commit = 1
+        self._started: set[int] = set()
+
+        self.gossip = GossipLayer(node_id, network, self._deliver_gossiped_tx)
+        network.register(node_id, self)
+
+    # -- transactions (modern path: gossip everything) ---------------------------
+
+    def submit_transaction(self, tx: Transaction) -> bool:
+        self.stats.txs_from_clients += 1
+        return self._receive(tx)
+
+    def _deliver_gossiped_tx(self, tx: Transaction, sender: int) -> None:
+        self.stats.txs_from_peers += 1
+        self._receive(tx)
+
+    def _receive(self, tx: Transaction) -> bool:
+        self.stats.eager_validations += 1
+        if not eager_validate(tx, self.blockchain.state, self.protocol):
+            self.stats.eager_failures += 1
+            return False
+        if self.blockchain.contains_tx(tx) or tx in self.pool:
+            return False
+        self.pool.add(tx, now=self.sim.now)
+        # modern blockchains always gossip (Alg. 1 line 9)
+        self.gossip.publish(tx.tx_hash, tx, tx.encoded_size())
+        return True
+
+    # -- rounds -------------------------------------------------------------------
+
+    def start(self) -> None:
+        self.sim.schedule(self.block_interval, self._start_height, 1)
+
+    def _instance(self, index: int) -> LeaderConsensus:
+        if index not in self._instances:
+            self._instances[index] = LeaderConsensus(
+                n=self.protocol.n,
+                f=self.protocol.f,
+                my_id=self.node_id,
+                index=index,
+                send=self._send_consensus,
+                on_decide=lambda b, k=index: self._on_decide(k, b),
+                schedule_timeout=lambda d, cb: self.sim.schedule(d, cb),
+                view_timeout=self.view_timeout,
+            )
+        return self._instances[index]
+
+    def _start_height(self, index: int) -> None:
+        if index in self._started:
+            return
+        self._started.add(index)
+        instance = self._instance(index)
+        instance.start(lambda k=index: self._create_block(k))
+        self.stats.blocks_proposed += 1 if instance.is_leader() else 0
+
+    def _create_block(self, index: int) -> Block:
+        self.pool.expire(self.sim.now)
+        batch = self.pool.take_batch(
+            self.protocol.max_block_txs,
+            gas_limit=self.protocol.block_gas_limit,
+            next_nonce=self.blockchain.state.nonce_of,
+        )
+        return make_block(self.keypair, self.node_id, index, batch, round=index)
+
+    def _send_consensus(self, msg: LeaderMessage) -> None:
+        self.network.broadcast(
+            self.node_id,
+            Message(kind=LEADER_KIND, payload=msg, sender=self.node_id,
+                    size_bytes=msg.approx_size()),
+        )
+
+    def on_message(self, msg: Message) -> None:
+        if msg.kind == LEADER_KIND:
+            lmsg: LeaderMessage = msg.payload
+            self._instance(lmsg.index).on_message(lmsg)
+        elif msg.kind == GossipLayer.KIND:
+            self.gossip.handle(msg)
+        elif msg.kind == TX_KIND:
+            self.submit_transaction(msg.payload)
+
+    # -- commit ---------------------------------------------------------------------
+
+    def _on_decide(self, index: int, block: Block) -> None:
+        self._decided[index] = block
+        while self._next_commit in self._decided:
+            self._commit(self._next_commit, self._decided[self._next_commit])
+            self._next_commit += 1
+
+    def _commit(self, index: int, block: Block) -> None:
+        from repro.core.block import SuperBlock
+
+        superblock = SuperBlock(index=index, blocks=(block,) if len(block) else ())
+        result = self.blockchain.commit_superblock(
+            superblock,
+            now=self.sim.now,
+            coinbase_of=self._coinbase_of,
+            exec_rate=self.execution_rate,
+        )
+        self.stats.superblocks_committed += 1
+        self.stats.txs_committed += len(result.committed)
+        self.stats.txs_discarded += len(result.discarded)
+        self.pool.remove_hashes({tx.tx_hash for tx in result.committed})
+        delay = (len(result.committed) + len(result.discarded)) / self.execution_rate
+        self.sim.schedule(self.block_interval + delay, self._start_height, index + 1)
+
+    def _coinbase_of(self, proposer_id: int) -> str:
+        if 0 <= proposer_id < len(self.validator_addresses):
+            return self.validator_addresses[proposer_id]
+        return ""
+
+    @property
+    def height(self) -> int:
+        return self.blockchain.height
+
+
+class LeaderChainDeployment:
+    """n leader-chain validators on the DES (mirror of Deployment)."""
+
+    def __init__(
+        self,
+        *,
+        protocol: params.ProtocolParams | None = None,
+        topology: Topology | None = None,
+        extra_balances: dict[str, int] | None = None,
+        block_interval: float = 1.0,
+        view_timeout: float = 3.0,
+        seed: int = 1,
+    ):
+        self.protocol = protocol or params.ProtocolParams(n=4, rpm=False)
+        n = self.protocol.n
+        self.topology = topology or single_region_topology(n)
+        self.sim = Simulator()
+        self.network = Network(self.sim, self.topology, seed=seed)
+        self.keypairs = [generate_keypair(2000 + i) for i in range(n)]
+        addresses = tuple(kp.address for kp in self.keypairs)
+        balances = {address: GENESIS_BALANCE for address in addresses}
+        balances.update(extra_balances or {})
+        self.genesis = GenesisSpec(
+            balances=balances, validator_addresses=addresses
+        )
+        self.validators = [
+            LeaderValidatorNode(
+                node_id=i,
+                keypair=self.keypairs[i],
+                sim=self.sim,
+                network=self.network,
+                protocol=self.protocol,
+                genesis=self.genesis.build,
+                validator_addresses=addresses,
+                block_interval=block_interval,
+                view_timeout=view_timeout,
+            )
+            for i in range(n)
+        ]
+
+    def start(self) -> None:
+        for validator in self.validators:
+            validator.start()
+
+    def submit(self, tx: Transaction, validator_id: int, *, at: float | None = None) -> None:
+        node = self.validators[validator_id]
+        if at is None:
+            node.submit_transaction(tx)
+        else:
+            self.sim.schedule_at(at, node.submit_transaction, tx)
+
+    def run_until(self, time: float) -> None:
+        self.sim.run_until(time)
+
+    def committed_everywhere(self, tx: Transaction) -> bool:
+        return all(v.blockchain.contains_tx(tx) for v in self.validators)
+
+    def safety_holds(self) -> bool:
+        return all(
+            a.blockchain.prefix_consistent_with(b.blockchain)
+            for i, a in enumerate(self.validators)
+            for b in self.validators[i + 1 :]
+        )

@@ -1,0 +1,110 @@
+"""Light client: verify commitment without replaying the chain.
+
+A light client knows only the committee's validator addresses (from the
+membership contract).  Two verification levels:
+
+* :func:`verify_inclusion` — a transaction is inside a block *certified by
+  a committee member*: the certificate signature binds the tx root to the
+  proposer's key, the Merkle path binds the tx hash to the root, and the
+  proposer address must be in the committee.  This is the "receipt as
+  proof of execution" of §VI — it proves a committee member proposed the
+  transaction in a block that the (honest-majority) committee accepted.
+* :class:`CheckpointVerifier` — stronger finality: ``f + 1`` matching
+  signed chain-head checkpoints guarantee at least one correct validator
+  vouches for the whole prefix (and thus every inclusion proof against a
+  height ≤ the checkpoint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.receipts import InclusionProof
+from repro.crypto.hashing import hash_items
+from repro.crypto.keys import KeyPair, PublicKey, Signature, derive_address, sign, verify
+from repro.crypto.merkle import MerkleTree
+
+
+def verify_inclusion(
+    proof: InclusionProof, committee: frozenset[str] | set[str]
+) -> bool:
+    """Check a transaction inclusion proof against a known committee."""
+    cert = proof.certificate
+    if cert.proposer_address() not in committee:
+        return False
+    if not verify(cert.public_key, proof.tx_root, cert.signed_tx_hash):
+        return False
+    return MerkleTree.verify_proof(proof.tx_root, proof.tx_hash, proof.merkle_proof)
+
+
+# ---------------------------------------------------------------------------
+# Signed head checkpoints
+# ---------------------------------------------------------------------------
+
+
+def _checkpoint_digest(height: int, head_hash: bytes) -> bytes:
+    return hash_items(["checkpoint", height, head_hash])
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One validator's signed attestation of its chain head."""
+
+    height: int
+    head_hash: bytes
+    public_key: PublicKey
+    signature: Signature
+
+    @classmethod
+    def create(cls, keypair: KeyPair, height: int, head_hash: bytes) -> "Checkpoint":
+        return cls(
+            height=height,
+            head_hash=head_hash,
+            public_key=keypair.public,
+            signature=sign(keypair.private, _checkpoint_digest(height, head_hash)),
+        )
+
+    def valid(self) -> bool:
+        return verify(
+            self.public_key,
+            _checkpoint_digest(self.height, self.head_hash),
+            self.signature,
+        )
+
+    @property
+    def signer(self) -> str:
+        return derive_address(self.public_key)
+
+
+class CheckpointVerifier:
+    """Accumulates checkpoints until f+1 committee members agree."""
+
+    def __init__(self, committee: set[str], f: int):
+        self.committee = set(committee)
+        self.f = f
+        # (height, head_hash) -> signer addresses
+        self._votes: dict[tuple[int, bytes], set[str]] = {}
+        self.finalized_height = -1
+        self.finalized_head: bytes | None = None
+
+    def add(self, checkpoint: Checkpoint) -> bool:
+        """Feed one checkpoint; returns True when it finalizes a new head.
+
+        Requires a valid signature from a distinct committee member; f+1
+        matching (height, head) pairs finalize, since at most f members
+        are Byzantine.
+        """
+        if not checkpoint.valid() or checkpoint.signer not in self.committee:
+            return False
+        key = (checkpoint.height, checkpoint.head_hash)
+        voters = self._votes.setdefault(key, set())
+        voters.add(checkpoint.signer)
+        if len(voters) >= self.f + 1 and checkpoint.height > self.finalized_height:
+            self.finalized_height = checkpoint.height
+            self.finalized_head = checkpoint.head_hash
+            return True
+        return False
+
+    def covers(self, proof: InclusionProof) -> bool:
+        """Is this inclusion proof under the finalized checkpoint?"""
+        return proof.height <= self.finalized_height

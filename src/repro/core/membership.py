@@ -1,0 +1,189 @@
+"""Membership and committee reconfiguration (§IV-E).
+
+Candidate validators deposit tokens into a reconfiguration contract; every
+epoch a committee of ``n`` validators is drawn uniformly at random from the
+candidates and rotated, so a *slowly-adaptive* adversary — one that can
+only corrupt between epochs, and at most ``f < n/3`` members at a time —
+never controls a third of a sitting committee.  Deposits are recoverable
+after a lock period (PoS-style), keeping Sybil costs real without inflating
+transaction fees forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import params
+from repro.errors import MembershipError
+
+
+@dataclass
+class Candidate:
+    address: str
+    deposit: int
+    joined_epoch: int
+    #: epoch at which a withdrawal unlocks (None = not withdrawing)
+    unlock_epoch: int | None = None
+
+
+@dataclass
+class Committee:
+    """One epoch's validator committee."""
+
+    epoch: int
+    members: tuple[str, ...]
+
+    def __contains__(self, address: str) -> bool:
+        return address in self.members
+
+    @property
+    def n(self) -> int:
+        return len(self.members)
+
+
+class MembershipRegistry:
+    """The committee-reconfiguration contract's logic.
+
+    Selection is deterministic given (seed, epoch) so every validator
+    derives the same committee locally — the randomness beacon is modelled
+    as a shared seed (in production it would come from the chain itself).
+    """
+
+    def __init__(
+        self,
+        *,
+        committee_size: int = 4,
+        min_deposit: int = params.VALIDATOR_DEPOSIT,
+        lock_epochs: int = 2,
+        seed: int = 42,
+    ):
+        self.committee_size = committee_size
+        self.min_deposit = min_deposit
+        self.lock_epochs = lock_epochs
+        self.seed = seed
+        self.candidates: dict[str, Candidate] = {}
+        self.current_epoch = 0
+        self._committees: dict[int, Committee] = {}
+        #: addresses excluded after RPM slashing events
+        self.excluded: set[str] = set()
+
+    # -- candidacy ---------------------------------------------------------------
+
+    def register(self, address: str, deposit: int, *, epoch: int | None = None) -> None:
+        """Deposit tokens to become a candidate validator."""
+        if deposit < self.min_deposit:
+            raise MembershipError(
+                f"deposit {deposit} below minimum {self.min_deposit}"
+            )
+        if address in self.candidates:
+            raise MembershipError(f"{address} is already a candidate")
+        self.candidates[address] = Candidate(
+            address=address,
+            deposit=deposit,
+            joined_epoch=self.current_epoch if epoch is None else epoch,
+        )
+
+    def request_withdrawal(self, address: str) -> int:
+        """Begin deposit recovery; returns the unlock epoch."""
+        candidate = self._get(address)
+        candidate.unlock_epoch = self.current_epoch + self.lock_epochs
+        return candidate.unlock_epoch
+
+    def withdraw(self, address: str) -> int:
+        """Complete a withdrawal after the lock period; returns the deposit."""
+        candidate = self._get(address)
+        if candidate.unlock_epoch is None:
+            raise MembershipError(f"{address} has no pending withdrawal")
+        if self.current_epoch < candidate.unlock_epoch:
+            raise MembershipError(
+                f"deposit locked until epoch {candidate.unlock_epoch} "
+                f"(now {self.current_epoch})"
+            )
+        del self.candidates[address]
+        return candidate.deposit
+
+    def slash(self, address: str) -> int:
+        """Remove a candidate after an RPM slashing event; deposit is gone."""
+        candidate = self.candidates.pop(address, None)
+        self.excluded.add(address)
+        return candidate.deposit if candidate else 0
+
+    def _get(self, address: str) -> Candidate:
+        try:
+            return self.candidates[address]
+        except KeyError:
+            raise MembershipError(f"{address} is not a candidate") from None
+
+    # -- committee selection ----------------------------------------------------------
+
+    def eligible(self) -> list[str]:
+        """Candidates that may be drawn: funded, not withdrawing, not excluded."""
+        return sorted(
+            address
+            for address, c in self.candidates.items()
+            if c.unlock_epoch is None and address not in self.excluded
+        )
+
+    def committee_for(self, epoch: int) -> Committee:
+        """Deterministic random committee for ``epoch`` (cached)."""
+        if epoch in self._committees:
+            return self._committees[epoch]
+        pool = self.eligible()
+        if len(pool) < self.committee_size:
+            raise MembershipError(
+                f"{len(pool)} eligible candidates < committee size "
+                f"{self.committee_size}"
+            )
+        rng = np.random.default_rng(hash((self.seed, epoch)) % (2**32))
+        members = tuple(
+            sorted(rng.choice(pool, size=self.committee_size, replace=False))
+        )
+        committee = Committee(epoch=epoch, members=members)
+        self._committees[epoch] = committee
+        return committee
+
+    def advance_epoch(self) -> Committee:
+        """Rotate to the next epoch's committee."""
+        self.current_epoch += 1
+        return self.committee_for(self.current_epoch)
+
+
+@dataclass
+class SlowlyAdaptiveAdversary:
+    """§IV-A adversary: bribes progressively, only between epochs, with
+    **at most f validators corrupted at any time** (the paper's model,
+    after [RapidChain]).  ``corrupt`` adds up to ``budget_per_epoch`` new
+    targets per epoch; once the global budget ``f`` is reached an old
+    corruption must be ``release``d (the bribe lapses) before a new target
+    can be taken — which is what makes the adversary *slowly* adaptive:
+    it cannot chase a freshly drawn committee within the epoch.
+    """
+
+    f: int
+    budget_per_epoch: int = 1
+    corrupted: set[str] = field(default_factory=set)
+    _last_epoch: int = -1
+
+    def corrupt(self, committee: Committee, targets: list[str]) -> list[str]:
+        """Attempt corruption for the epoch; returns who was corrupted."""
+        if committee.epoch == self._last_epoch:
+            return []  # only between epochs
+        self._last_epoch = committee.epoch
+        newly = []
+        for address in targets[: self.budget_per_epoch]:
+            if address in self.corrupted:
+                continue
+            if len(self.corrupted) >= self.f:
+                break  # global budget: ≤ f corrupted at any time
+            self.corrupted.add(address)
+            newly.append(address)
+        return newly
+
+    def release(self, address: str) -> None:
+        """Drop a corruption (frees budget for a new target next epoch)."""
+        self.corrupted.discard(address)
+
+    def corrupted_in(self, committee: Committee) -> int:
+        return sum(1 for m in committee.members if m in self.corrupted)

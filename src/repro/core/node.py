@@ -1,0 +1,414 @@
+"""The SRBB validator node — Algorithm 1 end to end.
+
+A node wires together the transaction pool, the superblock consensus, the
+blockchain commit loop and (optionally) the RPM contract invocations, on
+top of the discrete-event network.  The two congestion mechanisms under
+study are switches:
+
+* ``protocol.tvpr`` — when True (SRBB), transactions received from clients
+  are eagerly validated once and *never* gossiped individually; when False
+  (modern-blockchain baseline, EVM+DBFT), every transaction is gossiped to
+  peers and re-eagerly-validated at every hop (Alg. 1 line 9).
+* ``protocol.rpm`` — when True, each committed superblock triggers
+  ``propReceived`` attestations and ``report`` invocations for invalid
+  transactions, submitted through the node's own pool as ordinary INVOKE
+  transactions so every replica's RPM state stays identical.
+
+Reporting policy (reproduction decision): a correct proposer can include a
+transaction that *later* fails lazy validation through no fault of its own
+(a nonce race between two clients' submissions).  Reports are therefore
+filed only for failures eager validation must have caught at inclusion
+time — bad signatures, oversized transactions, unfunded senders — never
+for nonce staleness or duplicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro import params
+from repro.core.block import Block, SuperBlock, make_block
+from repro.core.blockchain import Blockchain
+from repro.core.receipts import ReceiptStore
+from repro.core.rpm import RPMContract, certificate_payload, report_payload
+from repro.core.transaction import Transaction, make_invoke
+from repro.core.txpool import TxPool
+from repro.core.validation import eager_validate
+from repro.consensus.messages import ConsensusMessage
+from repro.consensus.superblock import SuperBlockConsensus
+from repro.crypto.keys import KeyPair
+from repro.net.gossip import GossipLayer
+from repro.net.simulator import Simulator
+from repro.net.transport import Message, Network
+from repro.vm.executor import install_native, native_address_for
+from repro.vm.state import WorldState
+
+#: error codes whose presence in a committed block indicts the proposer
+REPORTABLE_ERRORS = frozenset(
+    {"invalid-sig", "oversized", "insufficient-balance", "insufficient-gas"}
+)
+
+#: wire kinds
+TX_KIND = "tx"
+CONSENSUS_KIND = "consensus"
+
+
+@dataclass
+class NodeStats:
+    """Per-node counters feeding the congestion analysis."""
+
+    eager_validations: int = 0
+    eager_failures: int = 0
+    txs_from_clients: int = 0
+    txs_from_peers: int = 0
+    blocks_proposed: int = 0
+    superblocks_committed: int = 0
+    txs_committed: int = 0
+    txs_discarded: int = 0
+    rpm_attestations: int = 0
+    rpm_reports: int = 0
+    recycled_from_undecided: int = 0
+
+
+class ValidatorNode:
+    """One correct SRBB validator (subclass hooks support Byzantine ones)."""
+
+    def __init__(
+        self,
+        *,
+        node_id: int,
+        keypair: KeyPair,
+        sim: Simulator,
+        network: Network,
+        protocol: params.ProtocolParams,
+        genesis: Callable[[WorldState], None] | None = None,
+        validator_addresses: tuple[str, ...] = (),
+        round_interval: float = 0.25,
+        proposer_timeout: float = 2.0,
+        registry=None,
+        execution_rate: float = 20_000.0,
+        max_reports_per_block: int = 2,
+        order_by_fee: bool = False,
+    ):
+        self.node_id = node_id
+        self.keypair = keypair
+        self.address = keypair.address
+        self.sim = sim
+        self.network = network
+        self.protocol = protocol
+        self.round_interval = round_interval
+        self.proposer_timeout = proposer_timeout
+        self.validator_addresses = validator_addresses
+        #: transactions this node can execute per second — committing a
+        #: superblock with k transactions (valid or not) defers the next
+        #: round by k/execution_rate, which is how flooded invalid
+        #: transactions steal throughput (§V-B)
+        self.execution_rate = execution_rate
+        #: reports filed per (proposer, block): one successful report slashes
+        #: the entire deposit, so rational reporters cap their overhead
+        self.max_reports_per_block = max_reports_per_block
+        #: fee market: proposers maximizing Σ Txfees (the RPM incentive
+        #: term) pack blocks by gas price instead of FIFO
+        self.order_by_fee = order_by_fee
+
+        state = WorldState()
+        if genesis is not None:
+            genesis(state)
+        state.commit()
+        self.blockchain = Blockchain(protocol=protocol, state=state)
+        if registry is not None:
+            self.blockchain.executor.registry = registry
+        self.pool = TxPool(
+            capacity=protocol.txpool_capacity, ttl=protocol.tx_ttl
+        )
+        self.receipts = ReceiptStore()
+        self.stats = NodeStats()
+
+        self._consensus: dict[int, SuperBlockConsensus] = {}
+        self._pending_superblocks: dict[int, SuperBlock] = {}
+        self._next_commit_index = 1
+        self._next_propose_index = 1
+        self._proposed: set[int] = set()
+        self._rpm_nonce: int | None = None
+        #: addresses excluded after RPM slashing (Alg. 2 line 42 listeners)
+        self.excluded_validators: set[str] = set()
+
+        self.gossip = GossipLayer(
+            node_id, network, self._deliver_gossiped_tx
+        )
+        network.register(node_id, self)
+
+    # -- identity helpers ---------------------------------------------------------
+
+    def coinbase_of(self, proposer_id: int) -> str:
+        if 0 <= proposer_id < len(self.validator_addresses):
+            return self.validator_addresses[proposer_id]
+        return ""
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Kick off round 1 after one round interval."""
+        self.sim.schedule(self.round_interval, self._start_round, 1)
+
+    # -- Alg. 1 receive(t) -----------------------------------------------------------
+
+    def submit_transaction(self, tx: Transaction) -> bool:
+        """Entry point for client submissions (Reception stage, §IV-C)."""
+        self.stats.txs_from_clients += 1
+        return self._receive(tx, from_peer=False)
+
+    def _deliver_gossiped_tx(self, tx: Transaction, sender: int) -> None:
+        """A peer gossiped an individual transaction (non-TVPR mode only)."""
+        self.stats.txs_from_peers += 1
+        self._receive(tx, from_peer=True)
+
+    def _receive(self, tx: Transaction, *, from_peer: bool) -> bool:
+        # Eager validation — the expensive check (Alg. 1 line 5).  With
+        # TVPR this happens exactly once network-wide (client-facing node);
+        # without, every node on the gossip path repeats it.
+        self.stats.eager_validations += 1
+        if not eager_validate(tx, self.blockchain.state, self.protocol):
+            self.stats.eager_failures += 1
+            return False
+        if self.blockchain.contains_tx(tx) or tx in self.pool:
+            return False
+        self.pool.add(tx, now=self.sim.now)  # line 7
+        if not self.protocol.tvpr and self.sim.now - tx.created_at < self.protocol.tx_ttl:
+            # line 9 — modern blockchains gossip; SRBB (TVPR) does not.
+            self.gossip.publish(tx.tx_hash, tx, tx.encoded_size())
+        return True
+
+    # -- proposal (Alg. 1 propose(p)) ----------------------------------------------------
+
+    def _start_round(self, index: int) -> None:
+        if index in self._proposed:
+            return
+        self._proposed.add(index)
+        block = self._create_block(index)
+        self.stats.blocks_proposed += 1
+        consensus = self._consensus_for(index)
+        consensus.propose(block)
+        self.sim.schedule(
+            self.proposer_timeout, self._round_timeout, index
+        )
+
+    def _create_block(self, index: int) -> Block:
+        """create-block-with(p1 ⊂ p); Byzantine subclasses override."""
+        self.pool.expire(self.sim.now)
+        batch = self.pool.take_batch(
+            self.protocol.max_block_txs,
+            gas_limit=self.protocol.block_gas_limit,
+            next_nonce=self.blockchain.state.nonce_of,
+            by_fee=self.order_by_fee,
+        )
+        return make_block(
+            self.keypair, self.node_id, index, batch, round=index
+        )
+
+    def _validate_header(self, block: Block) -> bool:
+        """Header check used for superblock voting: a valid certificate
+        from a non-excluded proposer (Alg. 1 line 16 + Alg. 2 line 42
+        listeners excluding slashed validators)."""
+        if not block.header_valid():
+            return False
+        if block.certificate is not None:
+            proposer = block.certificate.proposer_address()
+            if proposer in self.excluded_validators:
+                return False
+        return True
+
+    def _round_timeout(self, index: int) -> None:
+        consensus = self._consensus.get(index)
+        if consensus is not None and not consensus.finished:
+            consensus.timeout_silent_proposers()
+
+    # -- consensus plumbing ----------------------------------------------------------------
+
+    def _consensus_for(self, index: int) -> SuperBlockConsensus:
+        if index not in self._consensus:
+            self._consensus[index] = SuperBlockConsensus(
+                n=self.protocol.n,
+                f=self.protocol.f,
+                my_id=self.node_id,
+                index=index,
+                broadcast=self._broadcast_consensus,
+                on_superblock=self._on_superblock,
+                validate_header=self._validate_header,
+                on_undecided_block=self._recycle_block,
+            )
+        return self._consensus[index]
+
+    def _broadcast_consensus(self, msg: ConsensusMessage) -> None:
+        self.network.broadcast(
+            self.node_id,
+            Message(
+                kind=CONSENSUS_KIND,
+                payload=msg,
+                sender=self.node_id,
+                size_bytes=msg.approx_size(),
+            ),
+        )
+
+    def on_message(self, msg: Message) -> None:
+        """Network endpoint entry point."""
+        if msg.kind == CONSENSUS_KIND:
+            cmsg: ConsensusMessage = msg.payload
+            # NO staleness filter, deliberately: a node that already
+            # committed index k must keep serving k's traffic — RBC
+            # totality needs the ECHO/READY exchange to finish (late
+            # undecided blocks recycle), and laggards still deciding k
+            # need the grace-round BVAL/AUX help of early deciders.
+            # Filtering either class deadlocks a lagging replica (see
+            # tests/integration/test_late_delivery.py and
+            # tests/diablo/test_runner.py histories).
+            self._consensus_for(cmsg.index).on_message(cmsg)
+        elif msg.kind == GossipLayer.KIND:
+            self.gossip.handle(msg)
+        elif msg.kind == TX_KIND:
+            self.submit_transaction(msg.payload)
+
+    # -- decision & commit (Alg. 1 lines 18-31) ------------------------------------------------
+
+    def _on_superblock(self, superblock: SuperBlock) -> None:
+        self._pending_superblocks[superblock.index] = superblock
+        while self._next_commit_index in self._pending_superblocks:
+            sb = self._pending_superblocks[self._next_commit_index]
+            self._commit(sb)
+            self._next_commit_index += 1
+
+    def _commit(self, superblock: SuperBlock) -> None:
+        result = self.blockchain.commit_superblock(
+            superblock,
+            now=self.sim.now,
+            coinbase_of=self.coinbase_of,
+            exec_rate=self.execution_rate,
+        )
+        self.stats.superblocks_committed += 1
+        self.stats.txs_committed += len(result.committed)
+        self.stats.txs_discarded += len(result.discarded)
+
+        # Index receipts for client confirmation queries (§VI receipts).
+        receipts_by_hash = {r.tx_hash: r for r in result.receipts if r.success}
+        for appended in result.appended_blocks:
+            self.receipts.record_block(
+                appended, receipts_by_hash, commit_time=self.sim.now
+            )
+
+        # Drop any pool copies of committed transactions.
+        self.pool.remove_hashes({tx.tx_hash for tx in result.committed})
+
+        # Alg. 1 lines 27-31: recycle transactions from undecided blocks ℂ.
+        # (Blocks RBC-delivered after this point recycle via the
+        # on_undecided_block hook.)
+        consensus = self._consensus.get(superblock.index)
+        if consensus is not None:
+            decided_ids = {b.proposer_id for b in superblock.blocks}
+            for proposer_id, block in consensus.proposals.items():
+                if proposer_id not in decided_ids:
+                    self._recycle_block(block)
+
+        if self.protocol.rpm:
+            self._invoke_rpm(superblock, result.invalid_by_proposer)
+        self._refresh_exclusions()
+
+        # Schedule the next round, deferred by the CPU time this commit
+        # consumed (every transaction — including flooded invalid ones —
+        # is lazily validated and executed before the node can move on).
+        processed = len(result.committed) + len(result.discarded)
+        execution_delay = processed / self.execution_rate
+        next_index = superblock.index + 1
+        if next_index > self._next_propose_index:
+            self._next_propose_index = next_index
+        self.sim.schedule(
+            self.round_interval + execution_delay, self._start_round, next_index
+        )
+
+    def _recycle_block(self, block: Block) -> None:
+        """Re-admit valid transactions from an undecided block (line 31)."""
+        for tx in block.transactions:
+            if self.blockchain.contains_tx(tx) or tx in self.pool:
+                continue
+            if eager_validate(tx, self.blockchain.state, self.protocol):
+                self.pool.add(tx, now=self.sim.now)
+                self.stats.recycled_from_undecided += 1
+
+    # -- RPM integration ---------------------------------------------------------------------
+
+    def _rpm_next_nonce(self) -> int:
+        if self._rpm_nonce is None:
+            self._rpm_nonce = self.blockchain.state.nonce_of(self.address)
+        nonce = self._rpm_nonce
+        self._rpm_nonce += 1
+        return nonce
+
+    def _invoke_rpm(
+        self,
+        superblock: SuperBlock,
+        invalid_by_proposer: list[tuple[int, Transaction, str]],
+    ) -> None:
+        rpm_address = native_address_for(RPMContract.name)
+        # propReceived for every block in the decided superblock.
+        for slot, block in enumerate(superblock.blocks):
+            if block.certificate is None or len(block) == 0:
+                continue
+            cert, h_t_hex, tx_count = certificate_payload(block)
+            tx = make_invoke(
+                self.keypair,
+                rpm_address,
+                "prop_received",
+                (cert, h_t_hex, tx_count, slot, superblock.index),
+                self._rpm_next_nonce(),
+                gas_limit=2_000_000,
+                created_at=self.sim.now,
+            )
+            if self._receive(tx, from_peer=False):
+                self.stats.rpm_attestations += 1
+        # report reportable invalid transactions (bounded per block: one
+        # successful report already forfeits the whole deposit).
+        blocks_by_proposer = {b.proposer_id: b for b in superblock.blocks}
+        reports_filed: dict[int, int] = {}
+        for proposer_id, bad_tx, error in invalid_by_proposer:
+            if error not in REPORTABLE_ERRORS:
+                continue
+            if reports_filed.get(proposer_id, 0) >= self.max_reports_per_block:
+                continue
+            reports_filed[proposer_id] = reports_filed.get(proposer_id, 0) + 1
+            block = blocks_by_proposer.get(proposer_id)
+            if block is None or block.certificate is None:
+                continue
+            cert, bad_hex, h_t_hex, proof_index, siblings = report_payload(
+                block, bad_tx.tx_hash
+            )
+            tx = make_invoke(
+                self.keypair,
+                rpm_address,
+                "report",
+                (cert, superblock.index, bad_hex, h_t_hex, proof_index, siblings),
+                self._rpm_next_nonce(),
+                gas_limit=2_000_000,
+                created_at=self.sim.now,
+            )
+            if self._receive(tx, from_peer=False):
+                self.stats.rpm_reports += 1
+
+    def _refresh_exclusions(self) -> None:
+        """Listen for Byzantine-validator events (Alg. 2 line 42)."""
+        excluded = self.blockchain.state.storage_get(
+            native_address_for(RPMContract.name), "excluded", ()
+        )
+        self.excluded_validators = set(excluded)
+
+    # -- convenience -------------------------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        return self.blockchain.height
+
+    def rpm_deposit_of(self, address: str) -> int:
+        return int(
+            self.blockchain.state.storage_get(
+                native_address_for(RPMContract.name), f"deposit:{address}", 0
+            )
+        )

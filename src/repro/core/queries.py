@@ -1,0 +1,208 @@
+"""Client read requests (§II-A: validators service reads as well).
+
+`QueryAPI` is the JSON-RPC-shaped read surface of one validator —
+balances, nonces, contract storage, receipts, blocks, head — and
+`RemoteClient` drives it over the simulated network with request/response
+round trips, so reads pay network latency like everything else.
+
+Reads are served from the validator's local replica.  A single replica
+can be stale or Byzantine; `RemoteClient.confirmed_balance` demonstrates
+the f+1-matching-responses pattern a distrustful client uses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.node import ValidatorNode
+from repro.core.transaction import Transaction
+from repro.net.transport import Message, Network
+
+QUERY_KIND = "query"
+RESPONSE_KIND = "query-response"
+
+
+@dataclass(frozen=True)
+class Query:
+    """One read request: a method name plus arguments."""
+
+    method: str
+    args: tuple
+    request_id: int
+    reply_to: int  # client endpoint id
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    request_id: int
+    result: Any
+    error: str | None = None
+    responder: int = -1
+
+
+class QueryAPI:
+    """Read-only view over a validator's replica."""
+
+    METHODS = (
+        "get_balance",
+        "get_nonce",
+        "get_storage",
+        "get_receipt",
+        "get_block_by_height",
+        "get_head",
+        "get_height",
+    )
+
+    def __init__(self, node: ValidatorNode):
+        self._node = node
+
+    def get_balance(self, address: str) -> int:
+        return self._node.blockchain.state.balance_of(address)
+
+    def get_nonce(self, address: str) -> int:
+        return self._node.blockchain.state.nonce_of(address)
+
+    def get_storage(self, contract: str, key: str) -> Any:
+        return self._node.blockchain.state.storage_get(contract, key)
+
+    def get_receipt(self, tx_hash_hex: str) -> dict | None:
+        record = self._node.receipts.get(bytes.fromhex(tx_hash_hex))
+        if record is None:
+            return None
+        return {
+            "success": record.receipt.success,
+            "gas_used": record.receipt.gas_used,
+            "height": record.height,
+            "block_hash": record.block_hash.hex(),
+            "commit_time": record.commit_time,
+        }
+
+    def get_block_by_height(self, height: int) -> dict | None:
+        chain = self._node.blockchain.chain
+        if not 0 <= height < len(chain):
+            return None
+        block = chain[height]
+        return {
+            "height": height,
+            "proposer_id": block.proposer_id,
+            "tx_count": len(block),
+            "block_hash": block.block_hash.hex(),
+            "parent_hash": block.parent_hash.hex(),
+        }
+
+    def get_head(self) -> dict:
+        head = self._node.blockchain.head()
+        return {
+            "height": self._node.blockchain.height,
+            "block_hash": head.block_hash.hex(),
+        }
+
+    def get_height(self) -> int:
+        return self._node.blockchain.height
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def dispatch(self, query: Query) -> QueryResponse:
+        if query.method not in self.METHODS:
+            return QueryResponse(
+                request_id=query.request_id,
+                result=None,
+                error=f"unknown method {query.method!r}",
+                responder=self._node.node_id,
+            )
+        try:
+            result = getattr(self, query.method)(*query.args)
+            return QueryResponse(
+                request_id=query.request_id, result=result,
+                responder=self._node.node_id,
+            )
+        except Exception as exc:  # noqa: BLE001 - surfaced to the client
+            return QueryResponse(
+                request_id=query.request_id, result=None,
+                error=str(exc), responder=self._node.node_id,
+            )
+
+
+def attach_query_service(node: ValidatorNode) -> QueryAPI:
+    """Teach a validator to answer QUERY messages over the network."""
+    api = QueryAPI(node)
+    original = node.on_message
+
+    def on_message(msg: Message) -> None:
+        if msg.kind == QUERY_KIND:
+            response = api.dispatch(msg.payload)
+            node.network.send(
+                node.node_id,
+                msg.payload.reply_to,
+                Message(kind=RESPONSE_KIND, payload=response,
+                        sender=node.node_id, size_bytes=256),
+            )
+            return
+        original(msg)
+
+    node.on_message = on_message  # type: ignore[method-assign]
+    return api
+
+
+class RemoteClient:
+    """A network client endpoint issuing reads (and collecting responses)."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, network: Network, *, endpoint_id: int):
+        self.network = network
+        self.endpoint_id = endpoint_id
+        self.responses: dict[int, list[QueryResponse]] = {}
+        self._callbacks: dict[int, Callable[[QueryResponse], None]] = {}
+        network.register(endpoint_id, self)
+
+    def on_message(self, msg: Message) -> None:
+        if msg.kind != RESPONSE_KIND:
+            return
+        response: QueryResponse = msg.payload
+        self.responses.setdefault(response.request_id, []).append(response)
+        callback = self._callbacks.get(response.request_id)
+        if callback is not None:
+            callback(response)
+
+    def ask(
+        self,
+        validator_id: int,
+        method: str,
+        *args: Any,
+        callback: Callable[[QueryResponse], None] | None = None,
+    ) -> int:
+        """Send one read to one validator; returns the request id."""
+        request_id = next(self._ids)
+        if callback is not None:
+            self._callbacks[request_id] = callback
+        query = Query(method=method, args=args, request_id=request_id,
+                      reply_to=self.endpoint_id)
+        self.network.send(
+            self.endpoint_id, validator_id,
+            Message(kind=QUERY_KIND, payload=query,
+                    sender=self.endpoint_id, size_bytes=128),
+        )
+        return request_id
+
+    def ask_many(self, validator_ids, method: str, *args: Any) -> list[int]:
+        """Fan a read out to several validators (f+1 confirmation reads)."""
+        return [self.ask(v, method, *args) for v in validator_ids]
+
+    def confirmed_result(self, request_ids, *, threshold: int) -> Any:
+        """The first result reported identically by ≥ threshold validators
+        (None when no value reached the threshold yet)."""
+        counts: dict[str, tuple[int, Any]] = {}
+        for request_id in request_ids:
+            for response in self.responses.get(request_id, ()):
+                if response.error:
+                    continue
+                key = repr(response.result)
+                count, value = counts.get(key, (0, response.result))
+                counts[key] = (count + 1, value)
+        for count, value in counts.values():
+            if count >= threshold:
+                return value
+        return None

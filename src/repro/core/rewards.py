@@ -1,0 +1,135 @@
+"""Reward design and the block-proposal game (§IV-F).
+
+Implements the paper's payoff algebra —
+
+* ``I = r_b + Σ Txfees``  (incentive)
+* ``C = |T| · c``         (eager-validation cost for the block)
+* ``R = I − C − P``       (cumulative reward; ``P`` is the slash amount)
+
+— and the game ``G = (V, S, U)`` per consensus round, where each validator
+picks the CORRECT strategy (eagerly validate everything, propose only valid
+transactions) or a BYZANTINE strategy (skip eager validation, include
+invalid transactions to save cost ``C' < C``).  :func:`best_response`
+evaluates the payoffs and shows the correct strategy dominates whenever
+RPM's slashing is active — the computational counterpart of Theorem 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro import params
+
+
+class Strategy(Enum):
+    CORRECT = "correct"
+    BYZANTINE = "byzantine"
+
+
+@dataclass(frozen=True)
+class RewardDesign:
+    """Constants of the reward equations."""
+
+    block_reward: int = params.BLOCK_REWARD  # r_b
+    validation_cost: float = params.EAGER_VALIDATION_COST  # c
+
+    def incentive(self, tx_fees: float) -> float:
+        """``I = r_b + Σ Txfees``."""
+        return self.block_reward + tx_fees
+
+    def validation_cost_for(self, tx_count: int) -> float:
+        """``C = |T| · c``."""
+        return tx_count * self.validation_cost
+
+    def reward(self, tx_count: int, tx_fees: float, penalty: float = 0.0) -> float:
+        """``R = I − C − P``."""
+        return self.incentive(tx_fees) - self.validation_cost_for(tx_count) - penalty
+
+
+@dataclass(frozen=True)
+class PayoffOutcome:
+    """Per-strategy payoff for one round of the block-proposal game."""
+
+    strategy: Strategy
+    payoff: float
+    deposit_after: float
+    slashed: bool
+
+
+def correct_payoff(
+    design: RewardDesign, tx_count: int, tx_fees: float, deposit: float
+) -> PayoffOutcome:
+    """Reward of the correct strategy: validate all, never slashed."""
+    r = design.reward(tx_count, tx_fees)
+    return PayoffOutcome(Strategy.CORRECT, r, deposit + r, slashed=False)
+
+
+def byzantine_payoff(
+    design: RewardDesign,
+    tx_count: int,
+    tx_fees: float,
+    deposit: float,
+    *,
+    skipped_validations: int,
+    reported: bool = True,
+) -> PayoffOutcome:
+    """Reward of a Byzantine proposer that skipped eager validation.
+
+    The proposer saves ``skipped_validations · c`` (so pays ``C' < C``), but
+    once n−f validators report an invalid transaction, the slash takes the
+    *entire* current deposit ``P = D' = D + I − C'`` (Theorem 1 proof),
+    leaving ``D_end = 0``.
+    """
+    skipped = min(skipped_validations, tx_count)
+    c_prime = design.validation_cost_for(tx_count - skipped)
+    gain = design.incentive(tx_fees) - c_prime
+    deposit_after_reward = deposit + gain
+    if not reported:
+        return PayoffOutcome(Strategy.BYZANTINE, gain, deposit_after_reward, False)
+    penalty = deposit_after_reward  # P = D + I − C'
+    return PayoffOutcome(
+        Strategy.BYZANTINE,
+        gain - penalty,  # = −D  (loses the entire starting deposit)
+        deposit_after_reward - penalty,  # = 0
+        slashed=True,
+    )
+
+
+def best_response(
+    design: RewardDesign,
+    tx_count: int,
+    tx_fees: float,
+    deposit: float,
+    *,
+    report_probability: float = 1.0,
+) -> Strategy:
+    """Rational validator's strategy choice given expected reporting.
+
+    With any positive deposit and report probability high enough that the
+    expected slash exceeds the validation savings, CORRECT dominates —
+    Theorem 1 is the ``report_probability == 1`` case.
+    """
+    correct = correct_payoff(design, tx_count, tx_fees, deposit).payoff
+    caught = byzantine_payoff(
+        design, tx_count, tx_fees, deposit,
+        skipped_validations=tx_count, reported=True,
+    ).payoff
+    free = byzantine_payoff(
+        design, tx_count, tx_fees, deposit,
+        skipped_validations=tx_count, reported=False,
+    ).payoff
+    expected_byz = report_probability * caught + (1 - report_probability) * free
+    return Strategy.CORRECT if correct >= expected_byz else Strategy.BYZANTINE
+
+
+def theorem1_holds(
+    design: RewardDesign, tx_count: int, tx_fees: float, deposit: float
+) -> bool:
+    """Theorem 1: a reported Byzantine proposer's reward is negative
+    (it loses its whole starting deposit) whenever the deposit is positive."""
+    outcome = byzantine_payoff(
+        design, tx_count, tx_fees, deposit,
+        skipped_validations=tx_count, reported=True,
+    )
+    return outcome.payoff < 0 and outcome.deposit_after == 0 if deposit > 0 else True

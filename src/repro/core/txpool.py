@@ -1,0 +1,170 @@
+"""Transaction pool — the pending queue ``p`` of Algorithm 1.
+
+Responsibilities (Alg. 1 lines 6-8, 11-12, 29-31):
+
+* admit only transactions not already in the pool nor in the chain,
+* honour a TTL (line 8) and a bounded capacity with FIFO eviction,
+* hand out batches for block creation and remove them (lines 11-12),
+* re-admit transactions from undecided blocks (line 31).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro import params
+from repro.core.transaction import Transaction
+
+
+@dataclass
+class PoolStats:
+    """Counters a validator exports for the congestion metrics."""
+
+    admitted: int = 0
+    duplicates: int = 0
+    expired: int = 0
+    evicted: int = 0
+
+
+class TxPool:
+    """FIFO pending queue with dedup, TTL and capacity eviction."""
+
+    def __init__(
+        self,
+        *,
+        capacity: int = params.TXPOOL_CAPACITY,
+        ttl: float = params.TX_TTL,
+    ):
+        self.capacity = capacity
+        self.ttl = ttl
+        # tx_hash -> (Transaction, admission_time)
+        self._pending: "OrderedDict[bytes, tuple[Transaction, float]]" = OrderedDict()
+        self.stats = PoolStats()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, tx: Transaction) -> bool:
+        return tx.tx_hash in self._pending
+
+    def contains_hash(self, tx_hash: bytes) -> bool:
+        return tx_hash in self._pending
+
+    # -- admission ------------------------------------------------------------
+
+    def add(self, tx: Transaction, now: float = 0.0) -> bool:
+        """Admit ``tx``; returns False on duplicate or evicts oldest if full."""
+        if tx.tx_hash in self._pending:
+            self.stats.duplicates += 1
+            return False
+        if len(self._pending) >= self.capacity:
+            # FIFO eviction: congestion makes the pool drop the oldest tx —
+            # precisely the "transaction loss" DIABLO observes.
+            self._pending.popitem(last=False)
+            self.stats.evicted += 1
+        self._pending[tx.tx_hash] = (tx, now)
+        self.stats.admitted += 1
+        return True
+
+    # -- expiry ----------------------------------------------------------------
+
+    def expire(self, now: float) -> list[Transaction]:
+        """Drop transactions whose TTL lapsed; returns them."""
+        dropped = []
+        for tx_hash in list(self._pending):
+            tx, admitted = self._pending[tx_hash]
+            if now - admitted > self.ttl:
+                del self._pending[tx_hash]
+                dropped.append(tx)
+                self.stats.expired += 1
+            else:
+                # OrderedDict is FIFO by admission time: first fresh entry
+                # means the rest are fresh too.
+                break
+        return dropped
+
+    # -- block building ----------------------------------------------------------
+
+    def take_batch(
+        self,
+        max_txs: int,
+        *,
+        gas_limit: int | None = None,
+        next_nonce=None,
+        by_fee: bool = False,
+    ) -> list[Transaction]:
+        """Remove and return up to ``max_txs`` transactions (FIFO order),
+        optionally bounded by a cumulative gas limit (Alg. 1 lines 11-12).
+
+        ``next_nonce(sender) -> int`` makes batching nonce-aware (Geth's
+        pending-vs-queued split): a transaction is only taken when its
+        nonce is the sender's next expected — accounting for same-sender
+        transactions already in the batch — so gapped transactions wait in
+        the pool instead of being discarded at execution.
+
+        ``by_fee`` switches candidate order from FIFO to descending gas
+        price (a fee market: proposers maximize Σ Txfees, the RPM
+        incentive term), with per-sender nonce order still enforced.
+        """
+        batch: list[Transaction] = []
+        gas = 0
+        taken_nonces: dict[str, int] = {}
+
+        def one_pass() -> bool:
+            """Single selection sweep; returns True if anything was taken."""
+            nonlocal gas
+            candidates = list(self._pending)
+            if by_fee:
+                candidates.sort(
+                    key=lambda h: (-self._pending[h][0].gas_price,
+                                   self._pending[h][0].nonce)
+                )
+            progress = False
+            for tx_hash in candidates:
+                if len(batch) >= max_txs:
+                    return progress
+                tx, _ = self._pending[tx_hash]
+                if gas_limit is not None and gas + tx.gas_limit > gas_limit:
+                    return progress
+                if next_nonce is not None:
+                    expected = taken_nonces.get(tx.sender)
+                    if expected is None:
+                        expected = next_nonce(tx.sender)
+                    if tx.nonce != expected:
+                        continue  # gapped: leave queued for a later block
+                    taken_nonces[tx.sender] = expected + 1
+                batch.append(tx)
+                gas += tx.gas_limit
+                del self._pending[tx_hash]
+                progress = True
+            return progress
+
+        # Multiple sweeps: taking nonce k can unlock the same sender's
+        # nonce k+1 that sorted earlier in the candidate order.
+        while len(batch) < max_txs and one_pass():
+            if next_nonce is None:
+                break  # without nonce gating one sweep sees everything
+        return batch
+
+    def peek(self, count: int) -> list[Transaction]:
+        """First ``count`` pending transactions without removing them."""
+        out = []
+        for tx, _ in self._pending.values():
+            if len(out) >= count:
+                break
+            out.append(tx)
+        return out
+
+    def remove_hashes(self, tx_hashes: "set[bytes] | frozenset[bytes]") -> int:
+        """Remove any pending transaction whose hash is in ``tx_hashes``
+        (used when a decided superblock contains txs we also hold)."""
+        removed = 0
+        for tx_hash in list(self._pending):
+            if tx_hash in tx_hashes:
+                del self._pending[tx_hash]
+                removed += 1
+        return removed
+
+    def clear(self) -> None:
+        self._pending.clear()

@@ -1,0 +1,102 @@
+"""Eager and lazy transaction validation (§II-B, §IV-D).
+
+* **Eager validation** — performed when a transaction arrives from a client
+  (and, in modern-blockchain mode, from peers): signature, size limit,
+  nonce plausibility, gas affordability, balance coverage.  It is the
+  expensive check — the signature verification dominates.
+* **Lazy validation** — performed just before execution: nonce exactness,
+  gas affordability, balance coverage.  No signature check (that happens at
+  execution, raising ``ErrInvalidSig``-equivalent errors), so it is cheap.
+
+Both return a :class:`ValidationOutcome` rather than raising, because
+validators *count* failures (they feed RPM reports and DIABLO loss metrics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import params
+from repro.core.transaction import Transaction
+from repro.crypto.keys import recover_check
+
+#: How far ahead of the account nonce the pool accepts transactions
+#: (Geth tolerates gaps in the queued region; we use a simple window).
+NONCE_WINDOW = 1024
+
+
+@dataclass(frozen=True)
+class ValidationOutcome:
+    """Result of a validation pass."""
+
+    ok: bool
+    error_code: str | None = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+_OK = ValidationOutcome(True)
+
+
+def _fail(code: str) -> ValidationOutcome:
+    return ValidationOutcome(False, code)
+
+
+def eager_validate(
+    tx: Transaction,
+    state,
+    protocol: params.ProtocolParams | None = None,
+) -> ValidationOutcome:
+    """Full admission check for a transaction entering the pool.
+
+    ``state`` is a :class:`~repro.vm.state.WorldState` (duck-typed to avoid
+    an import cycle).  Checks, in the paper's order: (i) signature,
+    (ii) size, (iii) nonce window, (iv) gas affordability, (v) balance.
+    """
+    protocol = protocol or params.ProtocolParams()
+    # (i) properly signed
+    if tx.signature is None or tx.public_key is None:
+        return _fail("invalid-sig")
+    if not recover_check(tx.public_key, tx.signing_payload(), tx.signature, tx.sender):
+        return _fail("invalid-sig")
+    # (ii) size limit
+    if tx.encoded_size() > protocol.max_tx_size:
+        return _fail("oversized")
+    # (iii) nonce: not in the past, not absurdly in the future
+    current = state.nonce_of(tx.sender)
+    if tx.nonce < current:
+        return _fail("bad-nonce")
+    if tx.nonce > current + NONCE_WINDOW:
+        return _fail("bad-nonce")
+    # (iv) gas cost covered + (v) amount covered
+    balance = state.balance_of(tx.sender)
+    if balance < tx.fee_cap():
+        return _fail("insufficient-gas")
+    if balance < tx.max_cost():
+        return _fail("insufficient-balance")
+    if tx.gas_limit > protocol.block_gas_limit:
+        return _fail("insufficient-gas")
+    return _OK
+
+
+def lazy_validate(
+    tx: Transaction,
+    state,
+    protocol: params.ProtocolParams | None = None,
+) -> ValidationOutcome:
+    """Pre-execution check: (iii) exact nonce, (iv) gas, (v) balance.
+
+    Deliberately weaker than eager validation — no signature or size check
+    (§IV-D: "lazy validation checks (iii), (iv), (v) whereas the execution
+    checks (i) and (ii)").
+    """
+    protocol = protocol or params.ProtocolParams()
+    if tx.nonce != state.nonce_of(tx.sender):
+        return _fail("bad-nonce")
+    balance = state.balance_of(tx.sender)
+    if balance < tx.fee_cap():
+        return _fail("insufficient-gas")
+    if balance < tx.max_cost():
+        return _fail("insufficient-balance")
+    return _OK

@@ -1,0 +1,47 @@
+"""SHA-256 helpers used throughout the reproduction."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+
+def sha256(data: bytes) -> bytes:
+    """Raw 32-byte SHA-256 digest."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex-encoded SHA-256 digest."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def hash_items(items: Iterable[object]) -> bytes:
+    """Order-sensitive digest of a sequence of mixed items.
+
+    Each item is converted to bytes (bytes pass through, str is UTF-8
+    encoded, ints are rendered in decimal) and length-prefixed so that
+    concatenation ambiguity cannot create collisions between different
+    sequences (e.g. ``["ab", "c"]`` vs ``["a", "bc"]``).
+    """
+    h = hashlib.sha256()
+    for item in items:
+        # One-byte type tag keeps e.g. 1, "1" and b"1" distinct.
+        if isinstance(item, bytes):
+            tag, raw = b"b", item
+        elif isinstance(item, str):
+            tag, raw = b"s", item.encode("utf-8")
+        elif isinstance(item, bool):
+            tag, raw = b"B", (b"\x01" if item else b"\x00")
+        elif isinstance(item, int):
+            tag, raw = b"i", str(item).encode("ascii")
+        elif isinstance(item, float):
+            tag, raw = b"f", repr(item).encode("ascii")
+        elif item is None:
+            tag, raw = b"n", b""
+        else:
+            raise TypeError(f"unhashable item type for hash_items: {type(item)!r}")
+        h.update(tag)
+        h.update(len(raw).to_bytes(8, "big"))
+        h.update(raw)
+    return h.digest()

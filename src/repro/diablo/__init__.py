@@ -1,0 +1,24 @@
+"""DIABLO-style benchmark harness for the message-level engine.
+
+Reimplements the essence of the DIABLO suite: transactions are pre-signed,
+sent open-loop on a fixed schedule to the blockchain's validators, and the
+client-observed metrics — throughput, average commit latency and
+transaction loss — are collected exactly as the paper defines them
+(commit time = when sufficiently many validators have the transaction in
+their chains; here the (f+1)-th correct validator, i.e. enough matching
+confirmations that one is from a correct node).
+"""
+
+from repro.diablo.client import LoadSchedule, RoundRobinSubmitter, SingleNodeSubmitter
+from repro.diablo.benchmark import BenchmarkResult, DiabloBenchmark
+from repro.diablo.report import format_results_table, format_table1
+
+__all__ = [
+    "BenchmarkResult",
+    "DiabloBenchmark",
+    "LoadSchedule",
+    "RoundRobinSubmitter",
+    "SingleNodeSubmitter",
+    "format_results_table",
+    "format_table1",
+]

@@ -1,0 +1,50 @@
+"""Plain-text report formatting: the rows/series the paper's artifacts show."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+def _format_table(rows: list[Mapping], columns: list[str]) -> str:
+    """Fixed-width text table."""
+    widths = {c: len(c) for c in columns}
+    rendered = []
+    for row in rows:
+        r = {c: str(row.get(c, "")) for c in columns}
+        for c in columns:
+            widths[c] = max(widths[c], len(r[c]))
+        rendered.append(r)
+    sep = "  "
+    header = sep.join(c.ljust(widths[c]) for c in columns)
+    rule = sep.join("-" * widths[c] for c in columns)
+    lines = [header, rule]
+    for r in rendered:
+        lines.append(sep.join(r[c].ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def format_results_table(rows: Iterable[Mapping], *, title: str = "") -> str:
+    """Format Figure-2/3-style rows (chain × workload metrics)."""
+    rows = list(rows)
+    if not rows:
+        return "(no results)"
+    columns = list(rows[0].keys())
+    table = _format_table(rows, columns)
+    return f"{title}\n{table}" if title else table
+
+
+def format_table1(without_rpm: Mapping, with_rpm: Mapping) -> str:
+    """Render Table I exactly as the paper lays it out."""
+    columns = [
+        "config",
+        "#valid txs sent",
+        "#invalid txs sent",
+        "#Byzantine validators",
+        "throughput (TPS)",
+        "#valid txs dropped",
+    ]
+    rows = [
+        {"config": "SRBB w/o RPM", **without_rpm},
+        {"config": "SRBB w/ RPM", **with_rpm},
+    ]
+    return _format_table(rows, columns)

@@ -1,0 +1,26 @@
+"""Discrete-event network simulation substrate.
+
+Replaces the paper's 10-region AWS deployment: an event-driven scheduler
+(:mod:`repro.net.simulator`), region-aware point-to-point links with
+latency + bandwidth + jitter and partial-synchrony semantics
+(:mod:`repro.net.transport`), deployment topologies
+(:mod:`repro.net.topology`) and a gossip layer (:mod:`repro.net.gossip`)
+used by the modern-blockchain (non-TVPR) transaction propagation path.
+"""
+
+from repro.net.simulator import Event, Simulator
+from repro.net.topology import Topology, global_topology, single_region_topology
+from repro.net.transport import Message, Network, PartialSynchrony
+from repro.net.gossip import GossipLayer
+
+__all__ = [
+    "Event",
+    "GossipLayer",
+    "Message",
+    "Network",
+    "PartialSynchrony",
+    "Simulator",
+    "Topology",
+    "global_topology",
+    "single_region_topology",
+]

@@ -1,0 +1,82 @@
+"""Adversarial delay strategies for the partial-synchrony model.
+
+Factories producing ``adversarial_delay(src, dst, now) -> float`` hooks
+for :class:`repro.net.transport.Network`.  Partial synchrony never loses
+messages — the adversary only stretches delays, and the transport clamps
+everything at the current bound (pre-GST cap before GST, δ after), so all
+of these are GST-respecting by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+DelayFn = Callable[[int, int, float], float]
+
+
+def no_delay() -> DelayFn:
+    return lambda src, dst, now: 0.0
+
+
+def uniform_jitter(max_extra_s: float, *, seed: int = 17) -> DelayFn:
+    """Random extra delay on every message (deterministic per call order)."""
+    rng = np.random.default_rng(seed)
+
+    def fn(src: int, dst: int, now: float) -> float:
+        return float(rng.uniform(0.0, max_extra_s))
+
+    return fn
+
+
+def slow_nodes(nodes: Iterable[int], extra_s: float) -> DelayFn:
+    """All traffic to or from the given nodes takes ``extra_s`` longer —
+    the 'weak validator' scenario of §VI."""
+    slow = frozenset(nodes)
+
+    def fn(src: int, dst: int, now: float) -> float:
+        return extra_s if (src in slow or dst in slow) else 0.0
+
+    return fn
+
+
+def soft_partition(
+    group_a: Iterable[int], group_b: Iterable[int], extra_s: float,
+    *, heal_at: float = float("inf"),
+) -> DelayFn:
+    """Cross-group traffic is delayed by ``extra_s`` until ``heal_at``.
+
+    A *soft* partition: messages still flow (partial synchrony forbids
+    loss), they are just slow — the classic pre-GST stress for consensus.
+    """
+    a, b = frozenset(group_a), frozenset(group_b)
+
+    def fn(src: int, dst: int, now: float) -> float:
+        if now >= heal_at:
+            return 0.0
+        crosses = (src in a and dst in b) or (src in b and dst in a)
+        return extra_s if crosses else 0.0
+
+    return fn
+
+
+def targeted_proposer_lag(
+    victim: int, extra_s: float, *, until: float = float("inf")
+) -> DelayFn:
+    """Delay only the victim's *outgoing* messages — models an adversary
+    trying to get one correct proposer's blocks voted out of superblocks."""
+
+    def fn(src: int, dst: int, now: float) -> float:
+        return extra_s if src == victim and now < until else 0.0
+
+    return fn
+
+
+def combine(*fns: DelayFn) -> DelayFn:
+    """Sum of several strategies (the transport clamps the total)."""
+
+    def fn(src: int, dst: int, now: float) -> float:
+        return sum(f(src, dst, now) for f in fns)
+
+    return fn

@@ -1,0 +1,93 @@
+"""Minimal deterministic discrete-event scheduler.
+
+A binary-heap event loop with a monotonic tiebreaker so that runs are fully
+deterministic given a seed — the foundation both the message-level engine
+and the correctness property tests rely on (hypothesis drives adversarial
+schedules through ``schedule`` delays).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback."""
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """Deterministic event loop over simulated seconds."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        event = Event(self.now + delay, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Run ``callback(*args)`` at absolute simulated time ``time``."""
+        return self.schedule(max(0.0, time - self.now), callback, *args)
+
+    # -- draining ----------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process the next event; returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, *, max_events: int | None = None) -> None:
+        """Drain the event queue (optionally bounding total events)."""
+        budget = max_events if max_events is not None else float("inf")
+        while self._heap and budget > 0:
+            if self.step():
+                budget -= 1
+
+    def run_until(self, time: float, *, max_events: int | None = None) -> None:
+        """Process events with timestamps ≤ ``time``; clock ends at ``time``."""
+        budget = max_events if max_events is not None else float("inf")
+        while self._heap and budget > 0:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > time:
+                break
+            self.step()
+            budget -= 1
+        self.now = max(self.now, time)
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)

@@ -1,0 +1,101 @@
+"""Deployment topologies: node → region placement and peer graphs.
+
+The paper deploys 200 validators over 10 AWS regions; Table I uses 4
+validators in Sydney.  A :class:`Topology` assigns each node a region and
+builds the peer (gossip) graph — a connected random regular-ish graph via
+networkx, matching devp2p-style overlays where each node keeps a bounded
+peer set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro import params
+
+
+@dataclass
+class Topology:
+    """Node placement and overlay graph for one deployment."""
+
+    regions: tuple[str, ...]
+    node_regions: tuple[str, ...]  # region of node i
+    graph: nx.Graph
+
+    @property
+    def n(self) -> int:
+        return len(self.node_regions)
+
+    def region_of(self, node: int) -> str:
+        """Region of a node; ids beyond the validator set (client
+        endpoints) are placed round-robin over the same regions."""
+        if 0 <= node < len(self.node_regions):
+            return self.node_regions[node]
+        return self.regions[node % len(self.regions)]
+
+    def peers_of(self, node: int) -> list[int]:
+        return sorted(self.graph.neighbors(node))
+
+    def latency_s(self, a: int, b: int) -> float:
+        """One-way base latency between two nodes, in seconds."""
+        return params.region_latency_ms(self.region_of(a), self.region_of(b)) / 1000.0
+
+    def latency_matrix_s(self) -> np.ndarray:
+        """(n, n) one-way latency matrix in seconds (vectorized consumers)."""
+        n = self.n
+        out = np.zeros((n, n))
+        for i in range(n):
+            for j in range(n):
+                out[i, j] = self.latency_s(i, j)
+        return out
+
+
+def _overlay(n: int, degree: int, seed: int) -> nx.Graph:
+    """Connected bounded-degree overlay (devp2p keeps ~25-50 peers)."""
+    if n <= 1:
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        return g
+    degree = min(degree, n - 1)
+    if degree * n % 2 == 1:
+        degree = max(1, degree - 1)
+    try:
+        g = nx.random_regular_graph(degree, n, seed=seed)
+    except nx.NetworkXError:
+        g = nx.complete_graph(n)
+    # Stitch components together if the random graph came out disconnected.
+    components = list(nx.connected_components(g))
+    for a, b in zip(components, components[1:]):
+        g.add_edge(next(iter(a)), next(iter(b)))
+    return g
+
+
+def global_topology(
+    n: int = 200,
+    *,
+    regions: tuple[str, ...] = params.AWS_REGIONS,
+    degree: int = 25,
+    seed: int = 7,
+) -> Topology:
+    """Paper §V deployment: ``n`` validators round-robined over 10 regions."""
+    node_regions = tuple(regions[i % len(regions)] for i in range(n))
+    return Topology(
+        regions=regions,
+        node_regions=node_regions,
+        graph=_overlay(n, degree, seed),
+    )
+
+
+def single_region_topology(
+    n: int = 4, *, region: str = "sydney", seed: int = 7
+) -> Topology:
+    """Table I deployment: ``n`` validators in one region, full mesh."""
+    g = nx.complete_graph(n)
+    return Topology(
+        regions=(region,),
+        node_regions=tuple(region for _ in range(n)),
+        graph=g,
+    )

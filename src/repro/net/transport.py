@@ -1,0 +1,159 @@
+"""Point-to-point message transport with partial synchrony.
+
+Delivery delay = base region latency + serialization (size / bandwidth) +
+jitter.  Before the Global Stabilization Time (GST) the adversary may
+stretch delays up to ``pre_gst_max_delay`` (messages are *never* lost —
+partial synchrony per Dwork/Lynch/Stockmeyer); after GST every delay is
+bounded by ``delta``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+import numpy as np
+
+from repro import params
+from repro.errors import NetworkError
+from repro.net.simulator import Simulator
+from repro.net.topology import Topology
+
+
+@dataclass(frozen=True)
+class Message:
+    """Envelope for anything sent over the simulated network."""
+
+    kind: str
+    payload: Any
+    sender: int
+    size_bytes: int = 256
+    msg_id: int = field(default_factory=itertools.count().__next__)
+
+
+class Endpoint(Protocol):
+    """Anything receiving messages from the network."""
+
+    def on_message(self, msg: Message) -> None: ...
+
+
+@dataclass
+class PartialSynchrony:
+    """Timing model: unknown GST, known δ after it."""
+
+    gst: float = 0.0
+    delta: float = params.DELTA
+    #: worst-case adversarial delay applied before GST
+    pre_gst_max_delay: float = 5.0
+
+    def bound(self, now: float) -> float:
+        return self.delta if now >= self.gst else self.pre_gst_max_delay
+
+
+@dataclass
+class NetStats:
+    """Traffic counters (bandwidth-consumption evidence for §III)."""
+
+    messages: int = 0
+    bytes: int = 0
+    by_kind: dict = field(default_factory=dict)
+    #: per-sender [messages, bytes] — who is spending the network
+    by_sender: dict = field(default_factory=dict)
+
+    def record(self, msg: Message) -> None:
+        self.messages += 1
+        self.bytes += msg.size_bytes
+        kind = self.by_kind.setdefault(msg.kind, [0, 0])
+        kind[0] += 1
+        kind[1] += msg.size_bytes
+        sender = self.by_sender.setdefault(msg.sender, [0, 0])
+        sender[0] += 1
+        sender[1] += msg.size_bytes
+
+    def egress_bytes(self, sender: int) -> int:
+        return self.by_sender.get(sender, [0, 0])[1]
+
+
+class Network:
+    """Delivers messages between registered endpoints on a Simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        *,
+        timing: PartialSynchrony | None = None,
+        bandwidth_bytes_per_s: float = params.DEFAULT_RESOURCES.egress_bytes_per_s,
+        jitter_s: float = 0.002,
+        seed: int = 11,
+        adversarial_delay: Callable[[int, int, float], float] | None = None,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.timing = timing or PartialSynchrony()
+        self.bandwidth = bandwidth_bytes_per_s
+        self.jitter_s = jitter_s
+        self.rng = np.random.default_rng(seed)
+        self.adversarial_delay = adversarial_delay
+        self._endpoints: dict[int, Endpoint] = {}
+        self.stats = NetStats()
+
+    def register(self, node_id: int, endpoint: Endpoint) -> None:
+        if node_id in self._endpoints:
+            raise NetworkError(f"node {node_id} already registered")
+        self._endpoints[node_id] = endpoint
+
+    # -- delay model ---------------------------------------------------------------
+
+    def delay_for(self, src: int, dst: int, size_bytes: int) -> float:
+        """Sample the delivery delay for one message."""
+        base = self.topology.latency_s(src, dst)
+        serialization = size_bytes / self.bandwidth
+        jitter = float(self.rng.exponential(self.jitter_s))
+        delay = base + serialization + jitter
+        if self.adversarial_delay is not None:
+            # The adversary may only *stretch* delays, bounded by the
+            # partial-synchrony cap for the current time.
+            extra = max(0.0, self.adversarial_delay(src, dst, self.sim.now))
+            delay += extra
+        return min(delay, self.timing.bound(self.sim.now) + serialization)
+
+    # -- primitives -------------------------------------------------------------------
+
+    def send(self, src: int, dst: int, msg: Message) -> None:
+        """Point-to-point send; delivery scheduled on the simulator."""
+        if dst not in self._endpoints:
+            raise NetworkError(f"unknown destination node {dst}")
+        self.stats.record(msg)
+        delay = self.delay_for(src, dst, msg.size_bytes)
+        self.sim.schedule(delay, self._deliver, dst, msg)
+
+    def broadcast(self, src: int, msg: Message, *, include_self: bool = True) -> None:
+        """Best-effort broadcast to every registered node."""
+        for dst in self._endpoints:
+            if dst == src and not include_self:
+                continue
+            if dst == src:
+                # Local delivery is immediate-ish (loopback).
+                self.sim.schedule(0.0, self._deliver, dst, msg)
+                self.stats.record(msg)
+            else:
+                self.send(src, dst, msg)
+
+    def send_to_peers(self, src: int, msg: Message) -> int:
+        """Send to overlay neighbours only (gossip building block)."""
+        peers = self.topology.peers_of(src)
+        for dst in peers:
+            if dst in self._endpoints:
+                self.send(src, dst, msg)
+        return len(peers)
+
+    def _deliver(self, dst: int, msg: Message) -> None:
+        endpoint = self._endpoints.get(dst)
+        if endpoint is not None:
+            endpoint.on_message(msg)
+
+    @property
+    def node_ids(self) -> list[int]:
+        return sorted(self._endpoints)

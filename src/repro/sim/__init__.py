@@ -1,0 +1,33 @@
+"""Tick-level congestion simulator for full-scale (200-validator) runs.
+
+The message-level engine in :mod:`repro.core` is exact but cannot simulate
+627 000 FIFA transactions across 200 validators in a test suite.  This
+package trades message fidelity for a vectorized queueing model (numpy
+cohort accounting, 100 ms ticks) that preserves the paper's two causal
+mechanisms:
+
+1. **Validation/propagation redundancy** — with gossip (modern chains) the
+   representative validator eagerly validates *every* transaction and pays
+   a per-received-copy handling cost ``redundancy × handling_overhead``;
+   with TVPR the validation work divides across the committee.
+2. **Mempool structure** — with gossip every pool holds every transaction
+   (effective capacity = one pool); with TVPR each transaction occupies
+   exactly one pool (effective capacity = n pools).
+
+Absolute TPS numbers are calibrated, not measured (the repro band says
+"throughput fidelity poor"); orderings and ratios are what we reproduce.
+"""
+
+from repro.sim.chains import CHAIN_MODELS, ChainModel, chain_model
+from repro.sim.engine import CongestionSim, SimResult, simulate_chain
+from repro.sim.metrics import LatencySample
+
+__all__ = [
+    "CHAIN_MODELS",
+    "ChainModel",
+    "CongestionSim",
+    "LatencySample",
+    "SimResult",
+    "chain_model",
+    "simulate_chain",
+]

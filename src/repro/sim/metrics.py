@@ -1,0 +1,97 @@
+"""Metric containers for the congestion simulator (DIABLO definitions).
+
+* throughput — committed transactions per second as the client observes
+  (committed count over the active experiment duration);
+* latency — commit time minus client send time, averaged over commits;
+* transaction loss — transactions never committed (dropped by a saturated
+  pool/validation queue, or still uncommitted at the measurement horizon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class LatencySample:
+    """Weighted latency accumulator (cohorts carry counts, not objects)."""
+
+    total_weight: float = 0.0
+    weighted_sum: float = 0.0
+    max_latency: float = 0.0
+    _values: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, latency: float, weight: float) -> None:
+        if weight <= 0:
+            return
+        self.total_weight += weight
+        self.weighted_sum += latency * weight
+        self.max_latency = max(self.max_latency, latency)
+        self._values.append((latency, weight))
+
+    @property
+    def mean(self) -> float:
+        return self.weighted_sum / self.total_weight if self.total_weight else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Weighted percentile (q in [0, 100])."""
+        if not self._values:
+            return 0.0
+        values = np.array([v for v, _ in self._values])
+        weights = np.array([w for _, w in self._values])
+        order = np.argsort(values)
+        values, weights = values[order], weights[order]
+        cumulative = np.cumsum(weights)
+        cutoff = q / 100.0 * cumulative[-1]
+        idx = int(np.searchsorted(cumulative, cutoff))
+        return float(values[min(idx, len(values) - 1)])
+
+
+@dataclass
+class SimResult:
+    """Everything one congestion-simulation run reports."""
+
+    chain: str
+    workload: str
+    sent: int
+    committed: int
+    dropped_pool: int
+    dropped_validation: int
+    unfinished: int
+    duration_s: float
+    avg_latency_s: float
+    p99_latency_s: float
+    #: committed per tick, for time-series plots
+    commit_series: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: pool occupancy per tick (congestion evidence)
+    pool_series: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: validation (admission) queue occupancy per tick — where gossiping
+    #: chains actually congest (§III-A)
+    validation_series: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    @property
+    def throughput_tps(self) -> float:
+        return self.committed / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def commit_rate(self) -> float:
+        """Fraction of sent transactions that committed (Fig. 2 bar labels)."""
+        return self.committed / self.sent if self.sent else 0.0
+
+    @property
+    def lost(self) -> int:
+        return self.sent - self.committed
+
+    def summary_row(self) -> dict:
+        return {
+            "chain": self.chain,
+            "workload": self.workload,
+            "throughput_tps": round(self.throughput_tps, 2),
+            "avg_latency_s": round(self.avg_latency_s, 2),
+            "commit_pct": round(100.0 * self.commit_rate, 1),
+            "sent": self.sent,
+            "committed": self.committed,
+            "lost": self.lost,
+        }

@@ -1,0 +1,138 @@
+"""Native contract framework.
+
+A native contract exposes ``@method``-decorated functions.  Calls are gas
+metered: a flat dispatch charge plus per-storage-access charges applied via
+the :class:`MeteredState` wrapper (SLOAD/SSTORE-equivalent costs), so
+native execution and bytecode execution burn comparable gas for comparable
+work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ContractNotFound, OutOfGas, VMRevert
+from repro.vm.gas import G_NATIVE_CALL, GAS_TABLE
+from repro.vm.opcodes import Op
+from repro.vm.state import WorldState
+
+_SLOAD_COST = GAS_TABLE[Op.SLOAD]
+_SSTORE_COST = GAS_TABLE[Op.SSTORE]
+
+
+def method(fn: Callable) -> Callable:
+    """Mark a contract function as externally callable."""
+    fn.__native_method__ = True
+    return fn
+
+
+@dataclass
+class CallInfo:
+    """Call environment passed to native methods."""
+
+    caller: str
+    value: int
+    contract: str
+
+
+class GasMeter:
+    """Mutable gas counter shared between dispatcher and state wrapper."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.remaining = limit
+
+    def charge(self, amount: int, what: str = "") -> None:
+        if amount > self.remaining:
+            raise OutOfGas(f"native call out of gas ({what or 'charge'})")
+        self.remaining -= amount
+
+    @property
+    def used(self) -> int:
+        return self.limit - self.remaining
+
+
+class MeteredState:
+    """Storage facade that charges gas per read/write."""
+
+    def __init__(self, state: WorldState, contract: str, meter: GasMeter):
+        self._state = state
+        self._contract = contract
+        self._meter = meter
+
+    def get(self, key: str, default: Any = None) -> Any:
+        self._meter.charge(_SLOAD_COST, "sload")
+        return self._state.storage_get(self._contract, key, default)
+
+    def set(self, key: str, value: Any) -> None:
+        self._meter.charge(_SSTORE_COST, "sstore")
+        self._state.storage_set(self._contract, key, value)
+
+    def balance_of(self, address: str) -> int:
+        self._meter.charge(GAS_TABLE[Op.BALANCE], "balance")
+        return self._state.balance_of(address)
+
+    def transfer(self, frm: str, to: str, amount: int) -> None:
+        self._meter.charge(GAS_TABLE[Op.TRANSFER], "transfer")
+        if self._state.balance_of(frm) < amount:
+            raise VMRevert(f"transfer of {amount} exceeds balance of {frm!r}")
+        self._state.sub_balance(frm, amount)
+        self._state.add_balance(to, amount)
+
+
+class NativeContract:
+    """Base class: subclasses define ``name`` and @method functions."""
+
+    #: registry key; subclasses must override
+    name: str = ""
+
+    def call(
+        self,
+        state: WorldState,
+        contract_address: str,
+        caller: str,
+        function: str,
+        args: tuple,
+        value: int,
+        gas_limit: int,
+    ) -> tuple[Any, int]:
+        """Dispatch ``function(*args)``; returns (result, gas_used).
+
+        Raises VMError subclasses on failure; the executor reverts state.
+        """
+        meter = GasMeter(gas_limit)
+        meter.charge(G_NATIVE_CALL, "dispatch")
+        fn = getattr(self, function, None)
+        if fn is None or not getattr(fn, "__native_method__", False):
+            raise VMRevert(f"{self.name}: no such method {function!r}")
+        storage = MeteredState(state, contract_address, meter)
+        info = CallInfo(caller=caller, value=value, contract=contract_address)
+        result = fn(storage, info, *args)
+        return result, meter.used
+
+
+class NativeRegistry:
+    """Name → contract-singleton registry."""
+
+    def __init__(self) -> None:
+        self._contracts: dict[str, NativeContract] = {}
+
+    def register(self, contract: NativeContract) -> NativeContract:
+        if not contract.name:
+            raise ValueError("native contract must define a name")
+        self._contracts[contract.name] = contract
+        return contract
+
+    def get(self, name: str) -> NativeContract:
+        try:
+            return self._contracts[name]
+        except KeyError:
+            raise ContractNotFound(f"no native contract {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._contracts
+
+
+#: Process-wide default registry; the executor uses it unless given another.
+native_registry = NativeRegistry()

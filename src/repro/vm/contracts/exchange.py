@@ -1,0 +1,58 @@
+"""Exchange DApp — the NASDAQ workload contract.
+
+Models the DIABLO NASDAQ scenario: clients submit stock trade executions
+(symbol, price in cents, quantity) against a continuously updated last-price
+book.  Each trade writes the last price, accumulates per-symbol volume and
+maintains the caller's position — three storage writes per call, matching
+the write-heavy profile of the original DApp.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VMRevert
+from repro.vm.contracts.base import CallInfo, MeteredState, NativeContract, method
+
+#: The five tickers in the paper's trace.
+SYMBOLS = ("AAPL", "AMZN", "FB", "MSFT", "GOOG")
+
+
+class ExchangeContract(NativeContract):
+    name = "exchange"
+
+    @method
+    def trade(
+        self,
+        storage: MeteredState,
+        info: CallInfo,
+        symbol: str,
+        price_cents: int,
+        quantity: int,
+        side: str = "buy",
+    ) -> int:
+        """Record a trade; returns the running volume for the symbol."""
+        if price_cents <= 0 or quantity <= 0:
+            raise VMRevert("trade price and quantity must be positive")
+        if side not in ("buy", "sell"):
+            raise VMRevert(f"unknown side {side!r}")
+        storage.set(f"last_price:{symbol}", price_cents)
+        volume = int(storage.get(f"volume:{symbol}", 0)) + quantity
+        storage.set(f"volume:{symbol}", volume)
+        pos_key = f"position:{info.caller}:{symbol}"
+        position = int(storage.get(pos_key, 0))
+        position += quantity if side == "buy" else -quantity
+        storage.set(pos_key, position)
+        return volume
+
+    @method
+    def last_price(self, storage: MeteredState, info: CallInfo, symbol: str) -> int:
+        return int(storage.get(f"last_price:{symbol}", 0))
+
+    @method
+    def volume(self, storage: MeteredState, info: CallInfo, symbol: str) -> int:
+        return int(storage.get(f"volume:{symbol}", 0))
+
+    @method
+    def position(
+        self, storage: MeteredState, info: CallInfo, holder: str, symbol: str
+    ) -> int:
+        return int(storage.get(f"position:{holder}:{symbol}", 0))

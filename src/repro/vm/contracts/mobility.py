@@ -1,0 +1,86 @@
+"""Mobility DApp — the Uber workload contract.
+
+Models the DIABLO Uber scenario: ride requests, driver matching and ride
+completion with an escrowed fare.  The hot path (``request_ride``) performs
+the bookkeeping writes that dominate the original trace.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VMRevert
+from repro.vm.contracts.base import CallInfo, MeteredState, NativeContract, method
+
+
+class MobilityContract(NativeContract):
+    name = "mobility"
+
+    @method
+    def request_ride(
+        self,
+        storage: MeteredState,
+        info: CallInfo,
+        pickup_zone: int,
+        dropoff_zone: int,
+        fare: int,
+    ) -> int:
+        """Open a ride request; escrows ``fare`` from the call value."""
+        if fare <= 0:
+            raise VMRevert("fare must be positive")
+        if info.value < fare:
+            raise VMRevert(f"escrow underfunded: sent {info.value}, fare {fare}")
+        ride_id = int(storage.get("next_ride", 0))
+        storage.set("next_ride", ride_id + 1)
+        storage.set(
+            f"ride:{ride_id}",
+            {
+                "rider": info.caller,
+                "pickup": pickup_zone,
+                "dropoff": dropoff_zone,
+                "fare": fare,
+                "driver": None,
+                "state": "open",
+            },
+        )
+        zone_count = int(storage.get(f"zone_demand:{pickup_zone}", 0))
+        storage.set(f"zone_demand:{pickup_zone}", zone_count + 1)
+        return ride_id
+
+    @method
+    def accept_ride(
+        self, storage: MeteredState, info: CallInfo, ride_id: int
+    ) -> str:
+        ride = storage.get(f"ride:{ride_id}")
+        if ride is None:
+            raise VMRevert(f"no ride {ride_id}")
+        if ride["state"] != "open":
+            raise VMRevert(f"ride {ride_id} not open (state={ride['state']})")
+        ride = dict(ride, driver=info.caller, state="accepted")
+        storage.set(f"ride:{ride_id}", ride)
+        return info.caller
+
+    @method
+    def complete_ride(
+        self, storage: MeteredState, info: CallInfo, ride_id: int
+    ) -> int:
+        """Release the escrowed fare to the driver; returns the fare."""
+        ride = storage.get(f"ride:{ride_id}")
+        if ride is None:
+            raise VMRevert(f"no ride {ride_id}")
+        if ride["state"] != "accepted":
+            raise VMRevert(f"ride {ride_id} not accepted")
+        if info.caller not in (ride["driver"], ride["rider"]):
+            raise VMRevert("only the driver or rider may complete a ride")
+        storage.set(f"ride:{ride_id}", dict(ride, state="completed"))
+        storage.transfer(info.contract, ride["driver"], ride["fare"])
+        return ride["fare"]
+
+    @method
+    def ride_state(self, storage: MeteredState, info: CallInfo, ride_id: int) -> str:
+        ride = storage.get(f"ride:{ride_id}")
+        if ride is None:
+            raise VMRevert(f"no ride {ride_id}")
+        return ride["state"]
+
+    @method
+    def zone_demand(self, storage: MeteredState, info: CallInfo, zone: int) -> int:
+        return int(storage.get(f"zone_demand:{zone}", 0))

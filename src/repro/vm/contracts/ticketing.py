@@ -1,0 +1,65 @@
+"""Ticketing DApp — the FIFA workload contract.
+
+Models the DIABLO FIFA scenario: bursts of ticket purchases for world-cup
+matches with bounded per-match inventory.  Sold-out purchases revert —
+exactly the error path that generates execution-time discards under load.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VMRevert
+from repro.vm.contracts.base import CallInfo, MeteredState, NativeContract, method
+
+#: Default seats per match; large enough that the synthetic trace does not
+#: exhaust inventory unless an experiment configures scarcity on purpose.
+DEFAULT_CAPACITY = 10_000_000
+
+
+class TicketingContract(NativeContract):
+    name = "ticketing"
+
+    @method
+    def open_match(
+        self,
+        storage: MeteredState,
+        info: CallInfo,
+        match_id: int,
+        capacity: int = DEFAULT_CAPACITY,
+        price: int = 1,
+    ) -> int:
+        if capacity <= 0 or price <= 0:
+            raise VMRevert("capacity and price must be positive")
+        storage.set(f"match:{match_id}", {"capacity": capacity, "price": price})
+        storage.set(f"sold:{match_id}", 0)
+        return match_id
+
+    @method
+    def buy_ticket(
+        self, storage: MeteredState, info: CallInfo, match_id: int, seats: int = 1
+    ) -> int:
+        """Purchase ``seats`` tickets; returns total sold for the match."""
+        match = storage.get(f"match:{match_id}")
+        if match is None:
+            raise VMRevert(f"no match {match_id}")
+        if seats <= 0:
+            raise VMRevert("seats must be positive")
+        sold = int(storage.get(f"sold:{match_id}", 0))
+        if sold + seats > match["capacity"]:
+            raise VMRevert(f"match {match_id} sold out")
+        cost = seats * match["price"]
+        if info.value < cost:
+            raise VMRevert(f"underpaid: sent {info.value}, cost {cost}")
+        storage.set(f"sold:{match_id}", sold + seats)
+        holder_key = f"tickets:{info.caller}:{match_id}"
+        storage.set(holder_key, int(storage.get(holder_key, 0)) + seats)
+        return sold + seats
+
+    @method
+    def sold(self, storage: MeteredState, info: CallInfo, match_id: int) -> int:
+        return int(storage.get(f"sold:{match_id}", 0))
+
+    @method
+    def tickets_of(
+        self, storage: MeteredState, info: CallInfo, holder: str, match_id: int
+    ) -> int:
+        return int(storage.get(f"tickets:{holder}:{match_id}", 0))

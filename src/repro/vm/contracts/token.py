@@ -1,0 +1,91 @@
+"""Fungible token (ERC-20-style) native contract.
+
+The generic DApp substrate beyond the three workload contracts: mint
+(owner-gated), transfer, approve / transfer_from with allowances, and
+total-supply conservation — used by the token-workload tests and available
+to downstream experiments.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VMRevert
+from repro.vm.contracts.base import CallInfo, MeteredState, NativeContract, method
+
+
+class TokenContract(NativeContract):
+    name = "token"
+
+    @method
+    def init(
+        self, storage: MeteredState, info: CallInfo, symbol: str, supply: int
+    ) -> int:
+        """One-time initialization: caller becomes owner and holds supply."""
+        if storage.get("owner") is not None:
+            raise VMRevert("token already initialized")
+        if supply < 0:
+            raise VMRevert("supply must be non-negative")
+        storage.set("owner", info.caller)
+        storage.set("symbol", symbol)
+        storage.set("supply", supply)
+        storage.set(f"bal:{info.caller}", supply)
+        return supply
+
+    @method
+    def mint(self, storage: MeteredState, info: CallInfo, to: str, amount: int) -> int:
+        if info.caller != storage.get("owner"):
+            raise VMRevert("only the owner may mint")
+        if amount <= 0:
+            raise VMRevert("mint amount must be positive")
+        storage.set("supply", int(storage.get("supply", 0)) + amount)
+        storage.set(f"bal:{to}", int(storage.get(f"bal:{to}", 0)) + amount)
+        return int(storage.get("supply"))
+
+    @method
+    def transfer(self, storage: MeteredState, info: CallInfo, to: str, amount: int) -> bool:
+        self._move(storage, info.caller, to, amount)
+        return True
+
+    @method
+    def approve(
+        self, storage: MeteredState, info: CallInfo, spender: str, amount: int
+    ) -> bool:
+        if amount < 0:
+            raise VMRevert("allowance must be non-negative")
+        storage.set(f"allow:{info.caller}:{spender}", amount)
+        return True
+
+    @method
+    def transfer_from(
+        self, storage: MeteredState, info: CallInfo, owner: str, to: str, amount: int
+    ) -> bool:
+        key = f"allow:{owner}:{info.caller}"
+        allowance = int(storage.get(key, 0))
+        if allowance < amount:
+            raise VMRevert(f"allowance {allowance} below {amount}")
+        storage.set(key, allowance - amount)
+        self._move(storage, owner, to, amount)
+        return True
+
+    @method
+    def balance_of(self, storage: MeteredState, info: CallInfo, holder: str) -> int:
+        return int(storage.get(f"bal:{holder}", 0))
+
+    @method
+    def allowance(
+        self, storage: MeteredState, info: CallInfo, owner: str, spender: str
+    ) -> int:
+        return int(storage.get(f"allow:{owner}:{spender}", 0))
+
+    @method
+    def total_supply(self, storage: MeteredState, info: CallInfo) -> int:
+        return int(storage.get("supply", 0))
+
+    @staticmethod
+    def _move(storage: MeteredState, frm: str, to: str, amount: int) -> None:
+        if amount <= 0:
+            raise VMRevert("transfer amount must be positive")
+        balance = int(storage.get(f"bal:{frm}", 0))
+        if balance < amount:
+            raise VMRevert(f"balance {balance} below {amount}")
+        storage.set(f"bal:{frm}", balance - amount)
+        storage.set(f"bal:{to}", int(storage.get(f"bal:{to}", 0)) + amount)

@@ -1,0 +1,116 @@
+"""SVM instruction set.
+
+A compact EVM-like stack machine: 256-bit-style unsigned words (modelled as
+Python ints checked against 2**256), ~40 opcodes covering arithmetic,
+comparison, stack/memory/storage access, control flow, environment access
+and halting.  Enough to express the DApp workload contracts and to exhibit
+the failure modes the paper leans on (out-of-gas, overflow, revert,
+invalid opcode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class Op(IntEnum):
+    STOP = 0x00
+    ADD = 0x01
+    MUL = 0x02
+    SUB = 0x03
+    DIV = 0x04
+    MOD = 0x06
+    ADDMOD = 0x08
+    EXP = 0x0A
+    LT = 0x10
+    GT = 0x11
+    EQ = 0x14
+    ISZERO = 0x15
+    AND = 0x16
+    OR = 0x17
+    XOR = 0x18
+    NOT = 0x19
+    SHA3 = 0x20
+    ADDRESS = 0x30
+    BALANCE = 0x31
+    CALLER = 0x33
+    CALLVALUE = 0x34
+    CALLDATALOAD = 0x35
+    CALLDATASIZE = 0x36
+    POP = 0x50
+    MLOAD = 0x51
+    MSTORE = 0x52
+    SLOAD = 0x54
+    SSTORE = 0x55
+    JUMP = 0x56
+    JUMPI = 0x57
+    PC = 0x58
+    GAS = 0x5A
+    JUMPDEST = 0x5B
+    PUSH = 0x60  # PUSH with a 32-byte immediate (simplified from PUSH1..32)
+    DUP = 0x80  # DUP with a 1-byte depth immediate
+    SWAP = 0x90  # SWAP with a 1-byte depth immediate
+    LOG = 0xA0
+    RETURN = 0xF3
+    REVERT = 0xFD
+    TRANSFER = 0xF1  # simplified value transfer to stack-top address slot
+
+
+#: Opcodes carrying an immediate operand and its byte width.
+IMMEDIATE_WIDTH = {Op.PUSH: 32, Op.DUP: 1, Op.SWAP: 1}
+
+WORD_BITS = 256
+WORD_MOD = 1 << WORD_BITS
+MAX_STACK = 1024
+
+
+@dataclass(frozen=True)
+class Instruction:
+    op: Op
+    operand: int = 0
+    #: byte offset of this instruction in the code (jump target space)
+    offset: int = 0
+
+
+def assemble(program: list[tuple | Op]) -> bytes:
+    """Assemble ``[(Op.PUSH, 5), Op.ADD, ...]`` into bytecode."""
+    out = bytearray()
+    for item in program:
+        if isinstance(item, tuple):
+            op, operand = item
+        else:
+            op, operand = item, None
+        out.append(int(op))
+        width = IMMEDIATE_WIDTH.get(op)
+        if width is not None:
+            if operand is None:
+                raise ValueError(f"{op.name} requires an operand")
+            out.extend(int(operand).to_bytes(width, "big"))
+        elif operand is not None:
+            raise ValueError(f"{op.name} takes no operand")
+    return bytes(out)
+
+
+def disassemble(code: bytes) -> list[Instruction]:
+    """Decode bytecode into instructions; unknown bytes decode as-is and
+    fault at execution time (InvalidOpcode), matching EVM behaviour."""
+    instructions = []
+    i = 0
+    while i < len(code):
+        offset = i
+        byte = code[i]
+        i += 1
+        try:
+            op = Op(byte)
+        except ValueError:
+            # Preserve the raw byte; SVM raises InvalidOpcode when reached.
+            instructions.append(Instruction(op=byte, operand=0, offset=offset))  # type: ignore[arg-type]
+            continue
+        operand = 0
+        width = IMMEDIATE_WIDTH.get(op)
+        if width is not None:
+            operand = int.from_bytes(code[i : i + width], "big")
+            i += width
+        instructions.append(Instruction(op=op, operand=operand, offset=offset))
+    return instructions

@@ -1,0 +1,123 @@
+"""Sample bytecode contracts for the SVM.
+
+Hand-assembled programs exercising realistic control flow — used by the
+VM tests, the deploy/invoke integration tests, and as templates for users
+writing their own bytecode.  Each builder returns (bytecode, docstring of
+its calldata ABI).
+"""
+
+from __future__ import annotations
+
+from repro.vm.opcodes import Op, assemble, disassemble
+
+
+def _patch_jumpdests(program: list) -> bytes:
+    """Assemble a program whose PUSH operands reference JUMPDESTs by
+    symbolic negative ids: ``(Op.PUSH, -k)`` targets the k-th JUMPDEST
+    (1-based) in program order."""
+    code = assemble([
+        (item[0], 0)
+        if isinstance(item, tuple) and item[1] is not None and item[1] < 0
+        else item
+        for item in program
+    ])
+    dests = [i.offset for i in disassemble(code) if i.op == Op.JUMPDEST]
+    patched = []
+    for item in program:
+        if isinstance(item, tuple) and item[0] == Op.PUSH and item[1] < 0:
+            patched.append((Op.PUSH, dests[-item[1] - 1]))
+        else:
+            patched.append(item)
+    return assemble(patched)
+
+
+def counter_contract() -> bytes:
+    """Persistent counter: each call adds calldata[0] to storage slot 0
+    and returns the new value."""
+    return assemble([
+        (Op.PUSH, 0),  # key
+        Op.SLOAD,  # [old]
+        (Op.PUSH, 0),
+        Op.CALLDATALOAD,  # [old, delta]
+        Op.ADD,  # [new]
+        (Op.DUP, 1),  # [new, new]
+        (Op.PUSH, 0),  # [new, new, key]
+        (Op.SWAP, 1),  # [new, key, new]
+        Op.SSTORE,  # [new]
+        Op.RETURN,
+    ])
+
+
+def adder_contract() -> bytes:
+    """Stateless adder: returns calldata[0] + calldata[1]."""
+    return assemble([
+        (Op.PUSH, 0),
+        Op.CALLDATALOAD,
+        (Op.PUSH, 1),
+        Op.CALLDATALOAD,
+        Op.ADD,
+        Op.RETURN,
+    ])
+
+
+def gated_store_contract(password: int) -> bytes:
+    """Stores calldata[1] in slot 1 only when calldata[0] == password;
+    reverts otherwise (a revert-path workout)."""
+    return _patch_jumpdests([
+        (Op.PUSH, 0),
+        Op.CALLDATALOAD,
+        (Op.PUSH, password),
+        Op.EQ,  # [ok?]
+        (Op.PUSH, -1),  # dest: store branch
+        (Op.SWAP, 1),  # [dest, ok]
+        Op.JUMPI,
+        (Op.PUSH, 1),
+        Op.REVERT,  # wrong password
+        Op.JUMPDEST,  # store:
+        (Op.PUSH, 1),  # key
+        (Op.PUSH, 1),
+        Op.CALLDATALOAD,  # value
+        Op.SSTORE,
+        (Op.PUSH, 1),
+        Op.RETURN,
+    ])
+
+
+def summation_contract() -> bytes:
+    """Loops: returns Σ_{i=1..calldata[0]} i (gas grows with the input)."""
+    return _patch_jumpdests([
+        (Op.PUSH, 0),  # acc
+        (Op.PUSH, 0),
+        Op.CALLDATALOAD,  # i = n
+        Op.JUMPDEST,  # loop:             [acc, i]
+        (Op.DUP, 1),  # [acc, i, i]
+        Op.ISZERO,  # [acc, i, i==0]
+        (Op.PUSH, -2),  # dest: done
+        (Op.SWAP, 1),  # [acc, i, done, cond]
+        Op.JUMPI,  # [acc, i]
+        (Op.DUP, 1),  # [acc, i, i]
+        (Op.SWAP, 2),  # [i, i, acc]
+        Op.ADD,  # [i, acc']
+        (Op.SWAP, 1),  # [acc', i]
+        (Op.PUSH, 1),  # [acc', i, 1]
+        Op.SUB,  # [acc', i-1]
+        (Op.PUSH, -1),  # dest: loop
+        Op.JUMP,
+        Op.JUMPDEST,  # done:             [acc, i]
+        Op.POP,  # [acc]
+        Op.RETURN,
+    ])
+
+
+def bank_contract() -> bytes:
+    """Holds value and pays out: transfers calldata[1] to the address word
+    calldata[0] from the contract balance (TRANSFER-opcode workout)."""
+    return assemble([
+        (Op.PUSH, 0),
+        Op.CALLDATALOAD,  # recipient word
+        (Op.PUSH, 1),
+        Op.CALLDATALOAD,  # amount
+        Op.TRANSFER,
+        (Op.PUSH, 1),
+        Op.RETURN,
+    ])

@@ -1,0 +1,260 @@
+"""The SVM interpreter: a gas-metered stack machine over bytecode.
+
+Execution raises the error taxonomy of :mod:`repro.errors` — out-of-gas,
+stack under/overflow, invalid opcode/jump, checked-arithmetic overflow and
+explicit revert — all of which the executor converts into a failed receipt
+with a full state rollback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.hashing import sha256
+from repro.errors import (
+    ArithmeticOverflow,
+    InvalidJump,
+    InvalidOpcode,
+    OutOfGas,
+    StackOverflow,
+    StackUnderflow,
+    VMRevert,
+)
+from repro.vm.gas import GAS_TABLE
+from repro.vm.opcodes import (
+    MAX_STACK,
+    WORD_MOD,
+    Instruction,
+    Op,
+    disassemble,
+)
+from repro.vm.state import WorldState
+
+
+@dataclass
+class VMResult:
+    """Outcome of one bytecode run."""
+
+    gas_used: int
+    return_value: int | None = None
+    logs: list[int] = field(default_factory=list)
+    halted: bool = True
+
+
+@dataclass
+class CallContext:
+    """Environment visible to the executing code."""
+
+    address: str  # account whose storage is accessed
+    caller: str
+    value: int = 0
+    calldata: tuple[int, ...] = ()
+
+
+class SVM:
+    """Stack-machine interpreter bound to a :class:`WorldState`."""
+
+    def __init__(self, state: WorldState):
+        self.state = state
+
+    def execute(
+        self, code: bytes, context: CallContext, gas_limit: int
+    ) -> VMResult:
+        """Run ``code`` with ``gas_limit``; raises on any VM fault.
+
+        The *caller* (executor) is responsible for snapshotting the state
+        before the call and reverting on exception.
+        """
+        instructions = disassemble(code)
+        # Map byte offsets of JUMPDESTs for jump validation.
+        jumpdests = {
+            ins.offset for ins in instructions
+            if isinstance(ins.op, Op) and ins.op == Op.JUMPDEST
+        }
+        offset_to_index = {ins.offset: i for i, ins in enumerate(instructions)}
+
+        stack: list[int] = []
+        memory: dict[int, int] = {}
+        logs: list[int] = []
+        gas = gas_limit
+        pc = 0
+
+        def charge(amount: int) -> None:
+            nonlocal gas
+            if amount > gas:
+                raise OutOfGas(f"needed {amount}, had {gas}")
+            gas -= amount
+
+        def push(value: int) -> None:
+            if len(stack) >= MAX_STACK:
+                raise StackOverflow(f"stack depth {MAX_STACK} exceeded")
+            if not 0 <= value < WORD_MOD:
+                raise ArithmeticOverflow(f"word out of range: {value}")
+            stack.append(value)
+
+        def pop() -> int:
+            if not stack:
+                raise StackUnderflow("pop from empty stack")
+            return stack.pop()
+
+        steps = 0
+        while pc < len(instructions):
+            ins = instructions[pc]
+            steps += 1
+            if steps > 1_000_000:
+                raise OutOfGas("step budget exhausted (runaway loop)")
+            op = ins.op
+            if not isinstance(op, Op):
+                raise InvalidOpcode(f"byte 0x{op:02x} at offset {ins.offset}")
+            charge(GAS_TABLE[op])
+            pc += 1
+
+            if op == Op.STOP:
+                return VMResult(gas_used=gas_limit - gas, logs=logs)
+            elif op == Op.ADD:
+                b, a = pop(), pop()
+                result = a + b
+                if result >= WORD_MOD:
+                    raise ArithmeticOverflow(f"ADD overflow: {a} + {b}")
+                push(result)
+            elif op == Op.MUL:
+                b, a = pop(), pop()
+                result = a * b
+                if result >= WORD_MOD:
+                    raise ArithmeticOverflow(f"MUL overflow: {a} * {b}")
+                push(result)
+            elif op == Op.SUB:
+                b, a = pop(), pop()
+                if a < b:
+                    raise ArithmeticOverflow(f"SUB underflow: {a} - {b}")
+                push(a - b)
+            elif op == Op.DIV:
+                b, a = pop(), pop()
+                push(0 if b == 0 else a // b)
+            elif op == Op.MOD:
+                b, a = pop(), pop()
+                push(0 if b == 0 else a % b)
+            elif op == Op.ADDMOD:
+                m, b, a = pop(), pop(), pop()
+                push(0 if m == 0 else (a + b) % m)
+            elif op == Op.EXP:
+                e, b = pop(), pop()
+                result = pow(b, e, WORD_MOD)
+                push(result)
+            elif op == Op.LT:
+                b, a = pop(), pop()
+                push(1 if a < b else 0)
+            elif op == Op.GT:
+                b, a = pop(), pop()
+                push(1 if a > b else 0)
+            elif op == Op.EQ:
+                b, a = pop(), pop()
+                push(1 if a == b else 0)
+            elif op == Op.ISZERO:
+                push(1 if pop() == 0 else 0)
+            elif op == Op.AND:
+                b, a = pop(), pop()
+                push(a & b)
+            elif op == Op.OR:
+                b, a = pop(), pop()
+                push(a | b)
+            elif op == Op.XOR:
+                b, a = pop(), pop()
+                push(a ^ b)
+            elif op == Op.NOT:
+                push(WORD_MOD - 1 - pop())
+            elif op == Op.SHA3:
+                value = pop()
+                digest = sha256(value.to_bytes(32, "big"))
+                push(int.from_bytes(digest[:8], "big"))
+            elif op == Op.ADDRESS:
+                push(_addr_to_word(context.address))
+            elif op == Op.BALANCE:
+                pop()  # address slot (simplified: own balance)
+                push(self.state.balance_of(context.address) % WORD_MOD)
+            elif op == Op.CALLER:
+                push(_addr_to_word(context.caller))
+            elif op == Op.CALLVALUE:
+                push(context.value % WORD_MOD)
+            elif op == Op.CALLDATALOAD:
+                index = pop()
+                value = (
+                    context.calldata[index] if index < len(context.calldata) else 0
+                )
+                push(value % WORD_MOD)
+            elif op == Op.CALLDATASIZE:
+                push(len(context.calldata))
+            elif op == Op.POP:
+                pop()
+            elif op == Op.MLOAD:
+                push(memory.get(pop(), 0))
+            elif op == Op.MSTORE:
+                value, key = pop(), pop()
+                memory[key] = value
+            elif op == Op.SLOAD:
+                key = pop()
+                push(int(self.state.storage_get(context.address, str(key), 0)))
+            elif op == Op.SSTORE:
+                value, key = pop(), pop()
+                self.state.storage_set(context.address, str(key), value)
+            elif op == Op.JUMP:
+                dest = pop()
+                if dest not in jumpdests:
+                    raise InvalidJump(f"jump to non-JUMPDEST offset {dest}")
+                pc = offset_to_index[dest]
+            elif op == Op.JUMPI:
+                cond, dest = pop(), pop()
+                if cond != 0:
+                    if dest not in jumpdests:
+                        raise InvalidJump(f"jump to non-JUMPDEST offset {dest}")
+                    pc = offset_to_index[dest]
+            elif op == Op.PC:
+                push(ins.offset)
+            elif op == Op.GAS:
+                push(gas)
+            elif op == Op.JUMPDEST:
+                pass
+            elif op == Op.PUSH:
+                push(ins.operand)
+            elif op == Op.DUP:
+                depth = ins.operand or 1
+                if depth > len(stack):
+                    raise StackUnderflow(f"DUP{depth} with stack of {len(stack)}")
+                push(stack[-depth])
+            elif op == Op.SWAP:
+                depth = ins.operand or 1
+                if depth >= len(stack) + 1 or len(stack) < depth + 1:
+                    raise StackUnderflow(f"SWAP{depth} with stack of {len(stack)}")
+                stack[-1], stack[-depth - 1] = stack[-depth - 1], stack[-1]
+            elif op == Op.LOG:
+                logs.append(pop())
+            elif op == Op.RETURN:
+                return VMResult(
+                    gas_used=gas_limit - gas, return_value=pop(), logs=logs
+                )
+            elif op == Op.REVERT:
+                raise VMRevert(f"explicit revert (code {pop() if stack else 0})")
+            elif op == Op.TRANSFER:
+                amount, to_word = pop(), pop()
+                to_addr = _word_to_addr(to_word)
+                if self.state.balance_of(context.address) < amount:
+                    raise VMRevert("TRANSFER with insufficient contract balance")
+                self.state.sub_balance(context.address, amount)
+                self.state.add_balance(to_addr, amount)
+            else:  # pragma: no cover - all ops handled above
+                raise InvalidOpcode(f"unhandled opcode {op!r}")
+
+        # Falling off the end of the code halts like STOP.
+        return VMResult(gas_used=gas_limit - gas, logs=logs)
+
+
+def _addr_to_word(address: str) -> int:
+    """Map a hex address into the word domain (low 160 bits)."""
+    if not address:
+        return 0
+    return int(address, 16) % WORD_MOD
+
+
+def _word_to_addr(word: int) -> str:
+    """Inverse of :func:`_addr_to_word` onto the 20-byte hex form."""
+    return format(word % (1 << 160), "040x")

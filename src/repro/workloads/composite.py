@@ -1,0 +1,72 @@
+"""Trace composition: concatenate, overlay, shift, pad, slice.
+
+Lets experiments build richer load shapes from primitives — e.g. a
+background Uber-like hum with a NASDAQ-style burst overlaid, or several
+workload phases back to back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+
+def concat(*traces: Trace, name: str | None = None) -> Trace:
+    """Play traces back to back."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    counts = np.concatenate([t.counts_per_second for t in traces])
+    return Trace(
+        name=name or "+".join(t.name for t in traces),
+        counts_per_second=counts,
+    )
+
+
+def overlay(*traces: Trace, name: str | None = None) -> Trace:
+    """Sum traces second-wise (shorter traces are zero-padded)."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    length = max(len(t.counts_per_second) for t in traces)
+    counts = np.zeros(length, dtype=np.int64)
+    for t in traces:
+        counts[: len(t.counts_per_second)] += t.counts_per_second
+    return Trace(
+        name=name or "|".join(t.name for t in traces),
+        counts_per_second=counts,
+    )
+
+
+def shift(trace: Trace, seconds: int, *, name: str | None = None) -> Trace:
+    """Delay a trace by prepending quiet seconds."""
+    if seconds < 0:
+        raise ValueError("shift must be non-negative")
+    counts = np.concatenate(
+        [np.zeros(seconds, dtype=np.int64), trace.counts_per_second]
+    )
+    return Trace(name=name or f"{trace.name}+{seconds}s", counts_per_second=counts)
+
+
+def pad(trace: Trace, seconds: int, *, name: str | None = None) -> Trace:
+    """Append quiet seconds (lets slow chains drain inside the trace)."""
+    if seconds < 0:
+        raise ValueError("pad must be non-negative")
+    counts = np.concatenate(
+        [trace.counts_per_second, np.zeros(seconds, dtype=np.int64)]
+    )
+    return Trace(name=name or trace.name, counts_per_second=counts)
+
+
+def window(
+    trace: Trace, start_s: int, end_s: int, *, name: str | None = None
+) -> Trace:
+    """Slice the [start, end) seconds of a trace."""
+    if not 0 <= start_s < end_s <= len(trace.counts_per_second):
+        raise ValueError(
+            f"window [{start_s}, {end_s}) out of range for "
+            f"{len(trace.counts_per_second)}s trace"
+        )
+    return Trace(
+        name=name or f"{trace.name}[{start_s}:{end_s}]",
+        counts_per_second=trace.counts_per_second[start_s:end_s].copy(),
+    )

@@ -1,0 +1,106 @@
+"""Trace persistence and statistics.
+
+Traces serialize to a two-column CSV (``second,count``) so experiments
+are reproducible from artifacts rather than seeds, and a summary gives
+the envelope and burstiness numbers used throughout the evaluation text.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+
+def trace_to_csv(trace: Trace) -> str:
+    """Render a trace as ``second,count`` CSV with a name header."""
+    out = io.StringIO()
+    out.write(f"# trace: {trace.name}\n")
+    out.write("second,count\n")
+    for second, count in enumerate(trace.counts_per_second):
+        out.write(f"{second},{int(count)}\n")
+    return out.getvalue()
+
+
+def trace_from_csv(text: str, *, name: str | None = None) -> Trace:
+    """Parse a trace produced by :func:`trace_to_csv`."""
+    parsed_name = "trace"
+    counts: list[int] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if "trace:" in line:
+                parsed_name = line.split("trace:", 1)[1].strip()
+            continue
+        if line.startswith("second"):
+            continue
+        second_str, count_str = line.split(",")
+        second = int(second_str)
+        if second != len(counts):
+            raise ValueError(
+                f"non-contiguous seconds: expected {len(counts)}, got {second}"
+            )
+        counts.append(int(count_str))
+    return Trace(
+        name=name or parsed_name,
+        counts_per_second=np.array(counts, dtype=np.int64),
+    )
+
+
+def save_trace(trace: Trace, path: "str | Path") -> Path:
+    path = Path(path)
+    path.write_text(trace_to_csv(trace))
+    return path
+
+
+def load_trace(path: "str | Path") -> Trace:
+    return trace_from_csv(Path(path).read_text())
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Envelope + burstiness summary of a trace."""
+
+    name: str
+    duration_s: float
+    total: int
+    avg_tps: float
+    peak_tps: int
+    p95_tps: float
+    #: peak-to-average ratio — the burstiness figure quoted in §V
+    burstiness: float
+    #: coefficient of variation of per-second rates
+    cv: float
+
+    def as_row(self) -> dict:
+        return {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "total": self.total,
+            "avg_tps": round(self.avg_tps, 1),
+            "peak_tps": self.peak_tps,
+            "p95_tps": round(self.p95_tps, 1),
+            "burstiness": round(self.burstiness, 2),
+            "cv": round(self.cv, 3),
+        }
+
+
+def trace_stats(trace: Trace) -> TraceStats:
+    counts = trace.counts_per_second.astype(np.float64)
+    avg = trace.avg_tps
+    return TraceStats(
+        name=trace.name,
+        duration_s=trace.duration_s,
+        total=trace.total,
+        avg_tps=avg,
+        peak_tps=trace.peak_tps,
+        p95_tps=float(np.percentile(counts, 95)) if len(counts) else 0.0,
+        burstiness=trace.peak_tps / avg if avg else 0.0,
+        cv=float(counts.std() / avg) if avg else 0.0,
+    )

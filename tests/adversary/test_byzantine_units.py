@@ -1,0 +1,64 @@
+"""Adversary unit behaviour (block-level, without a full deployment)."""
+
+from repro.adversary import make_invalid_transactions
+from repro.core.validation import eager_validate, lazy_validate
+from repro.vm.state import WorldState
+
+
+class TestInvalidTransactionFactory:
+    def test_invalid_txs_are_signed_but_unfunded(self):
+        state = WorldState()
+        txs = make_invalid_transactions(5)
+        for tx in txs:
+            # genuine signature...
+            assert tx.signature is not None
+            # ...but zero balance: eager validation must reject (checks iv/v)
+            outcome = eager_validate(tx, state)
+            assert not outcome
+            assert outcome.error_code in ("insufficient-gas", "insufficient-balance")
+
+    def test_invalid_txs_fail_lazy_validation_too(self):
+        state = WorldState()
+        for tx in make_invalid_transactions(3):
+            assert not lazy_validate(tx, state)
+
+    def test_deterministic_per_seed(self):
+        a = make_invalid_transactions(3, seed=5)
+        b = make_invalid_transactions(3, seed=5)
+        assert [t.tx_hash for t in a] == [t.tx_hash for t in b]
+
+    def test_distinct_across_seeds(self):
+        a = make_invalid_transactions(3, seed=5)
+        b = make_invalid_transactions(3, seed=6)
+        assert {t.tx_hash for t in a}.isdisjoint({t.tx_hash for t in b})
+
+    def test_count(self):
+        assert len(make_invalid_transactions(17)) == 17
+        assert make_invalid_transactions(0) == []
+
+
+class TestParams:
+    def test_protocol_derives_f(self):
+        from repro import params
+
+        assert params.ProtocolParams(n=4).f == 1
+        assert params.ProtocolParams(n=10).f == 3
+        assert params.ProtocolParams(n=10).quorum == 7
+
+    def test_invalid_resilience_rejected(self):
+        import pytest
+
+        from repro import params
+
+        with pytest.raises(ValueError):
+            params.ProtocolParams(n=3, f=1)
+        with pytest.raises(ValueError):
+            params.ProtocolParams(n=0)
+
+    def test_with_override(self):
+        from repro import params
+
+        p = params.ProtocolParams(n=4)
+        q = p.with_(tvpr=False)
+        assert q.tvpr is False and p.tvpr is True
+        assert q.n == 4

@@ -1,0 +1,55 @@
+"""Cross-fidelity agreement between the engine and the tick model."""
+
+import pytest
+
+from repro.analysis.crossfidelity import (
+    FidelityComparison,
+    compare_fidelity,
+    engine_model_for,
+)
+
+
+class TestComparisonMath:
+    def test_ratio_and_agreement(self):
+        comp = FidelityComparison(
+            workload="x",
+            engine_throughput_tps=10.0, model_throughput_tps=5.0,
+            engine_commit_rate=1.0, model_commit_rate=1.0,
+            engine_latency_s=1.0, model_latency_s=2.0,
+        )
+        assert comp.throughput_ratio == 2.0
+        assert comp.agrees(factor=3.0)
+        assert not comp.agrees(factor=1.5)
+
+    def test_qualitative_commit_disagreement_fails(self):
+        comp = FidelityComparison(
+            workload="x",
+            engine_throughput_tps=10.0, model_throughput_tps=10.0,
+            engine_commit_rate=1.0, model_commit_rate=0.4,
+            engine_latency_s=1.0, model_latency_s=1.0,
+        )
+        assert not comp.agrees()
+
+    def test_twin_model_shape(self):
+        twin = engine_model_for(
+            4, round_interval_s=0.3, per_proposer_block_txs=100,
+            execution_rate=5_000.0, mempool_capacity=1_000,
+        )
+        assert twin.n == 4
+        assert not twin.tx_gossip
+        assert twin.pool_partitioned
+        assert twin.proposers_per_round == 4
+
+
+class TestLiveAgreement:
+    @pytest.mark.parametrize("workload", ["uber", "nasdaq"])
+    def test_engine_and_model_agree(self, workload):
+        """Both implementations, same scaled trace: same commit story and
+        throughput within a small factor (they share no code for the
+        transaction pipeline)."""
+        comp = compare_fidelity(workload, scale=0.004, n=4)
+        assert comp.engine_commit_rate == 1.0
+        assert comp.model_commit_rate >= 0.99
+        assert comp.agrees(factor=4.0), (
+            comp.engine_throughput_tps, comp.model_throughput_tps
+        )

@@ -1,0 +1,92 @@
+"""Artifact regeneration functions: shapes, orderings, headline ratios.
+
+These run the real experiment code at reduced scale where the full run is
+heavy; the benchmarks/ directory regenerates everything at paper scale.
+"""
+
+import pytest
+
+from repro.analysis.figures import (
+    figure1_counts,
+    figure2,
+    figure3,
+    table1,
+    tvpr_headline,
+)
+from repro.sim.chains import FIGURE_ORDER
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figure2()
+
+    def test_full_grid(self, rows):
+        assert len(rows) == 3 * len(FIGURE_ORDER)
+
+    def test_srbb_wins_throughput_everywhere(self, rows):
+        for workload in ("nasdaq", "uber", "fifa"):
+            chunk = {r["chain"]: r for r in rows if r["workload"] == workload}
+            best = max(chunk.values(), key=lambda r: r["throughput_tps"])
+            assert best["chain"] == "srbb", workload
+
+    def test_srbb_commits_all_nasdaq_and_uber(self, rows):
+        for workload in ("nasdaq", "uber"):
+            srbb = next(
+                r for r in rows if r["chain"] == "srbb" and r["workload"] == workload
+            )
+            assert srbb["commit_pct"] == 100.0
+
+    def test_no_other_chain_commits_all(self, rows):
+        for r in rows:
+            if r["chain"] != "srbb":
+                assert r["commit_pct"] < 100.0
+
+    def test_srbb_fifa_commit_about_98(self, rows):
+        srbb = next(
+            r for r in rows if r["chain"] == "srbb" and r["workload"] == "fifa"
+        )
+        assert 96.0 <= srbb["commit_pct"] <= 100.0
+
+
+class TestFigure3:
+    def test_srbb_lowest_latency_nasdaq_uber(self):
+        rows = figure3(chains=("srbb", "ethereum", "solana", "evm+dbft"))
+        for workload in ("nasdaq", "uber"):
+            chunk = {r["chain"]: r for r in rows if r["workload"] == workload}
+            assert chunk["srbb"]["avg_latency_s"] == min(
+                r["avg_latency_s"] for r in chunk.values()
+            )
+
+
+class TestHeadlines:
+    def test_tvpr_headline_ratios(self):
+        headline = tvpr_headline()
+        # paper: ×55 throughput, ÷3.5 latency; we assert the right regime
+        assert headline.throughput_ratio > 20
+        assert headline.latency_ratio > 2
+
+    def test_figure1_counts(self):
+        counts = figure1_counts(n=6, txs=10)
+        modern = counts["modern"]["eager_validations_per_tx"]
+        tvpr = counts["tvpr"]["eager_validations_per_tx"]
+        assert tvpr == 1.0
+        assert modern == 6.0
+        assert counts["tvpr"]["tx_gossip_messages"] == 0
+        assert counts["modern"]["tx_gossip_messages"] > 0
+
+
+class TestTable1:
+    def test_reduced_scale_run(self):
+        """Small but complete Table I: RPM ≥ no-RPM throughput, no valid
+        transactions dropped in either configuration."""
+        no_rpm, with_rpm = table1(
+            valid_count=3_000, invalid_count=1_500, flood_per_block=500,
+            horizon_s=15.0,
+        )
+        assert no_rpm.valid_dropped == 0
+        assert with_rpm.valid_dropped == 0
+        assert no_rpm.invalid_sent == 1_500
+        assert with_rpm.throughput_tps >= no_rpm.throughput_tps * 0.98
+        row = with_rpm.as_report_mapping()
+        assert row["#valid txs dropped"] == "none"

@@ -1,0 +1,30 @@
+"""Markdown report generation."""
+
+from repro.analysis.report import ReportData, build_report, collect, render
+
+
+def test_report_renders_all_sections():
+    # Table I at 5% scale keeps this test quick while exercising the path.
+    text = build_report(include_table1=True, table1_scale=0.05)
+    assert "# SRBB reproduction" in text
+    assert "## Figure 2" in text
+    assert "## §V-A headline" in text
+    assert "## Table I" in text
+    assert "## Figure 1" in text
+    assert "srbb" in text
+    assert "RPM gain" in text
+
+
+def test_report_without_table1():
+    data = collect(include_table1=False)
+    assert data.table1_rows is None
+    assert data.rpm_gain is None
+    text = render(data)
+    assert "## Table I" not in text
+    assert "## Figure 2" in text
+
+
+def test_paper_comparison_lines_present():
+    text = build_report(include_table1=False)
+    assert "paper 166.61" in text
+    assert "paper ×55" in text

@@ -1,0 +1,81 @@
+"""Coin-scheme variants: parity vs shared hash coin."""
+
+import random
+
+import pytest
+
+from repro.consensus.dbft import BinaryConsensus
+from repro.errors import ConsensusError
+
+
+def make_cluster(n, f, coin):
+    queue, decisions, rounds = [], {}, {}
+    nodes = {}
+    for i in range(n):
+        nodes[i] = BinaryConsensus(
+            n=n, f=f, my_id=i, index=3, instance=1,
+            broadcast=queue.append,
+            on_decide=lambda inst, v, i=i: decisions.__setitem__(i, v),
+            coin=coin,
+        )
+    return queue, decisions, nodes
+
+
+@pytest.mark.parametrize("coin", ["parity", "hash"])
+class TestCoinSchemes:
+    def test_unanimous_decides(self, coin):
+        queue, decisions, nodes = make_cluster(4, 1, coin)
+        for node in nodes.values():
+            node.propose(1)
+        while queue:
+            msg = queue.pop(0)
+            for node in nodes.values():
+                node.on_message(msg)
+        assert set(decisions.values()) == {1}
+        assert len(decisions) == 4
+
+    def test_mixed_inputs_agree_random_schedules(self, coin):
+        for seed in range(6):
+            rng = random.Random(seed)
+            queue, decisions, nodes = make_cluster(4, 1, coin)
+            values = {i: rng.randint(0, 1) for i in nodes}
+            for i, node in nodes.items():
+                node.propose(values[i])
+            while queue:
+                idx = rng.randrange(len(queue))
+                queue[idx], queue[-1] = queue[-1], queue[idx]
+                msg = queue.pop()
+                for node in nodes.values():
+                    node.on_message(msg)
+            assert len(set(decisions.values())) == 1
+            assert set(decisions.values()) <= set(values.values())
+
+
+class TestCoinProperties:
+    def test_hash_coin_identical_across_nodes(self):
+        a = BinaryConsensus(n=4, f=1, my_id=0, index=7, instance=2,
+                            broadcast=lambda m: None, on_decide=lambda i, v: None,
+                            coin="hash")
+        b = BinaryConsensus(n=4, f=1, my_id=3, index=7, instance=2,
+                            broadcast=lambda m: None, on_decide=lambda i, v: None,
+                            coin="hash")
+        for r in range(1, 20):
+            assert a._coin(r) == b._coin(r)
+
+    def test_hash_coin_varies_with_round(self):
+        node = BinaryConsensus(n=4, f=1, my_id=0, index=7, instance=2,
+                               broadcast=lambda m: None, on_decide=lambda i, v: None,
+                               coin="hash")
+        flips = {node._coin(r) for r in range(1, 30)}
+        assert flips == {0, 1}
+
+    def test_parity_coin_alternates(self):
+        node = BinaryConsensus(n=4, f=1, my_id=0, index=0, instance=0,
+                               broadcast=lambda m: None, on_decide=lambda i, v: None)
+        assert [node._coin(r) for r in range(1, 5)] == [1, 0, 1, 0]
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConsensusError):
+            BinaryConsensus(n=4, f=1, my_id=0, index=0, instance=0,
+                            broadcast=lambda m: None, on_decide=lambda i, v: None,
+                            coin="quantum")

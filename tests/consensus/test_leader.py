@@ -1,0 +1,179 @@
+"""Leader-based (PBFT-style) consensus: happy path, view change, safety."""
+
+import random
+
+import pytest
+
+from repro.consensus.leader import (
+    COMMIT,
+    PREPARE,
+    PROPOSAL,
+    VIEWCHANGE,
+    LeaderConsensus,
+    LeaderMessage,
+)
+from repro.core.block import make_block
+from repro.core.transaction import make_transfer
+from repro.crypto.keys import generate_keypair
+from repro.net.simulator import Simulator
+
+
+def _block(kp, proposer_id, index=1, seed=5):
+    sender = generate_keypair(seed)
+    txs = [make_transfer(sender, "aa" * 20, 1, nonce=0)]
+    return make_block(kp, proposer_id, index, txs, round=index)
+
+
+class LeaderCluster:
+    """n LeaderConsensus instances on a shared Simulator."""
+
+    def __init__(self, n=4, f=1, *, index=1, crashed=(), view_timeout=2.0):
+        self.sim = Simulator()
+        self.decided = {}
+        self.keypairs = [generate_keypair(5000 + i) for i in range(n)]
+        self.crashed = set(crashed)
+        self.nodes = {}
+        for i in range(n):
+            if i in self.crashed:
+                continue
+            self.nodes[i] = LeaderConsensus(
+                n=n, f=f, my_id=i, index=index,
+                send=self._make_send(),
+                on_decide=lambda b, i=i: self.decided.__setitem__(i, b),
+                schedule_timeout=lambda d, cb: self.sim.schedule(d, cb),
+                view_timeout=view_timeout,
+            )
+        self.index = index
+
+    def _make_send(self):
+        def send(msg: LeaderMessage):
+            # network broadcast with small latency
+            for j, node in self.nodes.items():
+                self.sim.schedule(0.01, node.on_message, msg)
+        return send
+
+    def start(self):
+        for i, node in self.nodes.items():
+            node.start(lambda i=i: _block(self.keypairs[i], i, self.index))
+
+    def run(self, until=30.0):
+        self.sim.run_until(until)
+
+
+class TestHappyPath:
+    def test_leader_proposal_decided_by_all(self):
+        cluster = LeaderCluster()
+        cluster.start()
+        cluster.run(5.0)
+        assert len(cluster.decided) == 4
+        hashes = {b.block_hash for b in cluster.decided.values()}
+        assert len(hashes) == 1
+        # view-1 leader for index 1 is node (1+0) % 4 = 1
+        assert next(iter(cluster.decided.values())).proposer_id == 1
+
+    def test_one_decision_per_instance(self):
+        cluster = LeaderCluster()
+        cluster.start()
+        cluster.run(10.0)
+        # decided is stable after more time (no re-decision)
+        first = dict(cluster.decided)
+        cluster.run(20.0)
+        assert {k: v.block_hash for k, v in cluster.decided.items()} == {
+            k: v.block_hash for k, v in first.items()
+        }
+
+
+class TestViewChange:
+    def test_crashed_leader_replaced(self):
+        # index 1 → leader of view 0 is node 1; crash it
+        cluster = LeaderCluster(crashed={1}, view_timeout=1.0)
+        cluster.start()
+        cluster.run(15.0)
+        assert len(cluster.decided) == 3
+        block = next(iter(cluster.decided.values()))
+        assert block.proposer_id != 1  # the view-1 leader took over
+        hashes = {b.block_hash for b in cluster.decided.values()}
+        assert len(hashes) == 1
+
+    def test_two_crashed_leaders(self):
+        # views 0,1 leaders for index 0: nodes 0 and 1 — n=7 so f=2
+        cluster = LeaderCluster(n=7, f=2, index=0, crashed={0, 1},
+                                view_timeout=1.0)
+        cluster.start()
+        cluster.run(25.0)
+        assert len(cluster.decided) == 5
+        hashes = {b.block_hash for b in cluster.decided.values()}
+        assert len(hashes) == 1
+
+    def test_view_timer_noop_after_decide(self):
+        cluster = LeaderCluster(view_timeout=0.5)
+        cluster.start()
+        cluster.run(20.0)  # many timer firings post-decision
+        assert all(node.view == 0 for node in cluster.nodes.values())
+
+
+class TestByzantineLeader:
+    def test_equivocating_leader_cannot_split(self):
+        """Leader sends block A to half and block B to the other half:
+        quorum intersection allows at most one digest to commit."""
+        cluster = LeaderCluster(view_timeout=1.5)
+        leader_id = 1
+        kp = cluster.keypairs[leader_id]
+        block_a = _block(kp, leader_id, seed=10)
+        block_b = _block(kp, leader_id, seed=11)
+        # bypass start(): hand-deliver conflicting proposals
+        for i, node in cluster.nodes.items():
+            block = block_a if i % 2 == 0 else block_b
+            msg = LeaderMessage(kind=PROPOSAL, index=1, view=0,
+                                payload=block, sender=leader_id)
+            cluster.sim.schedule(0.01, node.on_message, msg)
+        # non-leader replicas participate normally
+        for i, node in cluster.nodes.items():
+            if i != leader_id:
+                node.start(lambda i=i: _block(cluster.keypairs[i], i))
+        cluster.run(30.0)
+        decided_hashes = {b.block_hash for b in cluster.decided.values()}
+        assert len(decided_hashes) <= 1
+
+    def test_non_leader_proposal_ignored(self):
+        cluster = LeaderCluster()
+        intruder = 3  # not the view-0 leader for index 1
+        block = _block(cluster.keypairs[intruder], intruder)
+        msg = LeaderMessage(kind=PROPOSAL, index=1, view=0,
+                            payload=block, sender=intruder)
+        for node in cluster.nodes.values():
+            node.on_message(msg)
+        assert all(
+            node._state(0).proposal is None for node in cluster.nodes.values()
+        )
+
+    def test_forged_votes_insufficient(self):
+        """One Byzantine sender repeating PREPAREs can't reach quorum."""
+        cluster = LeaderCluster()
+        node = cluster.nodes[0]
+        digest = b"\x01" * 32
+        for _ in range(10):
+            node.on_message(LeaderMessage(
+                kind=PREPARE, index=1, view=0, payload=digest, sender=3
+            ))
+        assert len(node._state(0).prepares[digest]) == 1
+
+
+class TestSingleLeaderThroughputShape:
+    def test_one_block_per_round_vs_superblock(self):
+        """Engine-level §VI contrast: a leader round decides ONE proposer's
+        block; the superblock decides everyone's."""
+        cluster = LeaderCluster()
+        cluster.start()
+        cluster.run(5.0)
+        block = next(iter(cluster.decided.values()))
+        assert len(block) == 1  # one proposer's single-tx block
+
+        # superblock, same conditions (4 proposers × 1 tx each)
+        from tests.consensus.test_superblock import SBCluster
+
+        sb_cluster = SBCluster(4, 1)
+        sb_cluster.propose_all(txs=1)
+        sb_cluster.run()
+        superblock = next(iter(sb_cluster.superblocks.values()))
+        assert superblock.transaction_count() == 4

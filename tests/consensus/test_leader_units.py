@@ -1,0 +1,93 @@
+"""Leader-protocol unit details: message sizes, leader rotation math,
+timer/view bookkeeping."""
+
+from repro.consensus.leader import (
+    COMMIT,
+    PREPARE,
+    PROPOSAL,
+    LeaderConsensus,
+    LeaderMessage,
+)
+from repro.core.block import make_block
+from repro.core.transaction import make_transfer
+from repro.crypto.keys import generate_keypair
+
+
+def make_instance(my_id=0, index=1, **kw):
+    sent = []
+    decided = []
+    instance = LeaderConsensus(
+        n=4, f=1, my_id=my_id, index=index,
+        send=sent.append, on_decide=decided.append, **kw,
+    )
+    return instance, sent, decided
+
+
+class TestLeaderMath:
+    def test_leader_rotates_with_index(self):
+        instance, _, _ = make_instance(index=5)
+        assert instance.leader_of(0) == (5 + 0) % 4
+        assert instance.leader_of(3) == (5 + 3) % 4
+
+    def test_is_leader(self):
+        instance, _, _ = make_instance(my_id=1, index=0)
+        assert instance.is_leader(view=1)
+        assert not instance.is_leader(view=0)
+
+
+class TestMessageSizes:
+    def test_proposal_carries_block_size(self):
+        kp = generate_keypair(1)
+        txs = [make_transfer(kp, "aa" * 20, 1, nonce=i) for i in range(5)]
+        block = make_block(kp, 0, 1, txs)
+        msg = LeaderMessage(kind=PROPOSAL, index=1, view=0, payload=block, sender=0)
+        assert msg.approx_size() > block.encoded_size()
+
+    def test_vote_is_small(self):
+        msg = LeaderMessage(kind=PREPARE, index=1, view=0,
+                            payload=b"\x00" * 32, sender=0)
+        assert msg.approx_size() < 200
+
+
+class TestVoteBookkeeping:
+    def test_prepare_quorum_triggers_commit_broadcast(self):
+        instance, sent, _ = make_instance(my_id=3, index=1)
+        kp = generate_keypair(2)
+        block = make_block(kp, 1, 1, [])
+        instance.on_message(LeaderMessage(
+            kind=PROPOSAL, index=1, view=0, payload=block, sender=1))
+        # own prepare already sent; add two more → quorum of 3
+        for sender in (0, 1):
+            instance.on_message(LeaderMessage(
+                kind=PREPARE, index=1, view=0,
+                payload=block.block_hash, sender=sender))
+        kinds = [m.kind for m in sent]
+        assert PREPARE in kinds and COMMIT in kinds
+
+    def test_commits_before_proposal_decide_on_arrival(self):
+        """Votes outrunning the proposal must not strand the replica."""
+        instance, _, decided = make_instance(my_id=3, index=1)
+        kp = generate_keypair(2)
+        block = make_block(kp, 1, 1, [])
+        for sender in (0, 1, 2):
+            instance.on_message(LeaderMessage(
+                kind=COMMIT, index=1, view=0,
+                payload=block.block_hash, sender=sender))
+        assert not decided  # no proposal yet
+        instance.on_message(LeaderMessage(
+            kind=PROPOSAL, index=1, view=0, payload=block, sender=1))
+        assert decided and decided[0].block_hash == block.block_hash
+
+    def test_wrong_index_ignored(self):
+        instance, sent, _ = make_instance()
+        kp = generate_keypair(2)
+        block = make_block(kp, 1, 1, [])
+        instance.on_message(LeaderMessage(
+            kind=PROPOSAL, index=9, view=0, payload=block, sender=1))
+        assert instance._state(0).proposal is None
+
+    def test_garbage_digest_ignored(self):
+        instance, _, decided = make_instance()
+        instance.on_message(LeaderMessage(
+            kind=COMMIT, index=1, view=0, payload="not-bytes", sender=0))
+        assert not decided

@@ -1,0 +1,135 @@
+"""Passive (observer) mode: decides identically, sends nothing."""
+
+import pytest
+
+from repro.consensus.broadcast import ReliableBroadcast
+from repro.consensus.dbft import BinaryConsensus
+from repro.consensus.messages import ConsensusMessage, MsgKind
+from repro.consensus.superblock import SuperBlockConsensus
+from repro.core.block import make_block
+from repro.core.transaction import make_transfer
+from repro.crypto.keys import generate_keypair
+from repro.errors import ConsensusError
+
+
+class TestPassiveBinary:
+    def _cluster(self, n=4, f=1):
+        queue = []
+        decisions = {}
+        nodes = {
+            i: BinaryConsensus(
+                n=n, f=f, my_id=i, index=0, instance=0,
+                broadcast=queue.append,
+                on_decide=lambda inst, v, i=i: decisions.__setitem__(i, v),
+            )
+            for i in range(n)
+        }
+        observer_sent = []
+        observer = BinaryConsensus(
+            n=n, f=f, my_id=99, index=0, instance=0,
+            broadcast=observer_sent.append,
+            on_decide=lambda inst, v: decisions.__setitem__("obs", v),
+            passive=True,
+        )
+        return queue, decisions, nodes, observer, observer_sent
+
+    def test_observer_decides_with_the_committee(self):
+        queue, decisions, nodes, observer, sent = self._cluster()
+        observer.observe()
+        for node in nodes.values():
+            node.propose(1)
+        while queue:
+            msg = queue.pop(0)
+            for node in nodes.values():
+                node.on_message(msg)
+            observer.on_message(msg)
+        assert decisions["obs"] == 1
+        assert set(decisions.values()) == {1}
+        assert sent == []  # strictly silent
+
+    def test_observer_cannot_propose(self):
+        _, _, _, observer, _ = self._cluster()
+        with pytest.raises(ConsensusError):
+            observer.propose(1)
+
+    def test_observe_idempotent(self):
+        _, _, _, observer, sent = self._cluster()
+        observer.observe()
+        observer.observe()
+        assert sent == []
+
+
+class TestPassiveRBC:
+    def test_observer_delivers_without_sending(self):
+        queue = []
+        delivered = {}
+        nodes = {
+            i: ReliableBroadcast(
+                n=4, f=1, my_id=i, index=0, broadcast=queue.append,
+                on_deliver=lambda s, p, i=i: delivered.setdefault(i, {}).__setitem__(s, p),
+            )
+            for i in range(4)
+        }
+        observer_sent = []
+        observer = ReliableBroadcast(
+            n=4, f=1, my_id=99, index=0, broadcast=observer_sent.append,
+            on_deliver=lambda s, p: delivered.setdefault("obs", {}).__setitem__(s, p),
+            passive=True,
+        )
+        nodes[0].broadcast_payload(b"blk")
+        while queue:
+            msg = queue.pop(0)
+            for node in nodes.values():
+                node.on_message(msg)
+            observer.on_message(msg)
+        assert delivered["obs"][0] == b"blk"
+        assert observer_sent == []
+
+
+class TestPassiveSuperblock:
+    def test_observer_reaches_same_superblock(self):
+        queue = []
+        superblocks = {}
+        keypairs = [generate_keypair(3000 + i) for i in range(4)]
+        nodes = {
+            i: SuperBlockConsensus(
+                n=4, f=1, my_id=i, index=1, broadcast=queue.append,
+                on_superblock=lambda sb, i=i: superblocks.__setitem__(i, sb),
+            )
+            for i in range(4)
+        }
+        observer = SuperBlockConsensus(
+            n=4, f=1, my_id=0, index=1,
+            broadcast=lambda m: pytest.fail("observer must not send"),
+            on_superblock=lambda sb: superblocks.__setitem__("obs", sb),
+            passive=True,
+        )
+        sender = generate_keypair(4000)
+        for i, node in nodes.items():
+            txs = [make_transfer(sender, "aa" * 20, 1, nonce=i)]
+            node.propose(make_block(keypairs[i], i, 1, txs, round=1))
+        while queue:
+            msg = queue.pop(0)
+            for node in nodes.values():
+                node.on_message(msg)
+            observer.on_message(msg)
+        assert "obs" in superblocks
+        hashes = {sb.superblock_hash for sb in superblocks.values()}
+        assert len(hashes) == 1
+
+    def test_observer_propose_rejected(self):
+        observer = SuperBlockConsensus(
+            n=4, f=1, my_id=0, index=1, broadcast=lambda m: None,
+            on_superblock=lambda sb: None, passive=True,
+        )
+        kp = generate_keypair(1)
+        with pytest.raises(ConsensusError):
+            observer.propose(make_block(kp, 0, 1, [], round=1))
+
+    def test_observer_timeout_noop(self):
+        observer = SuperBlockConsensus(
+            n=4, f=1, my_id=0, index=1, broadcast=lambda m: None,
+            on_superblock=lambda sb: None, passive=True,
+        )
+        observer.timeout_silent_proposers()  # must not raise or vote
+        assert all(not i.has_input or i.passive for i in observer.instances.values())

@@ -1,0 +1,136 @@
+"""Chain auditing: replay verification of live replicas + tamper detection."""
+
+import pytest
+
+from repro import params
+from repro.core.audit import audit_chain
+from repro.core.block import Block
+from repro.core.deployment import Deployment, fund_clients
+from repro.core.transaction import make_invoke, make_transfer
+from repro.net.topology import single_region_topology
+from repro.vm.executor import native_address_for
+
+
+@pytest.fixture
+def audited_deployment():
+    clients, balances = fund_clients(3)
+    deployment = Deployment(
+        protocol=params.ProtocolParams(n=4),
+        topology=single_region_topology(4),
+        extra_balances=balances,
+    )
+    deployment.start()
+    for i in range(6):
+        tx = make_transfer(clients[i % 3], clients[(i + 1) % 3].address,
+                           2, nonce=i // 3)
+        deployment.submit(tx, validator_id=i % 4, at=0.05 + 0.01 * i)
+    trade = make_invoke(clients[0], native_address_for("exchange"), "trade",
+                        ("MSFT", 410_00, 2, "buy"), nonce=2)
+    deployment.submit(trade, validator_id=1, at=0.2)
+    deployment.run_until(5.0)
+    return deployment
+
+
+class TestCleanAudit:
+    def test_live_replica_audits_clean(self, audited_deployment):
+        deployment = audited_deployment
+        committee = set(deployment.genesis.validator_addresses)
+        for validator in deployment.validators:
+            report = audit_chain(
+                validator.blockchain,
+                genesis=deployment.genesis.build,
+                committee=committee,
+                registry=deployment.registry,
+                coinbase_of=validator.coinbase_of,
+            )
+            assert report.ok, report.problems
+            assert report.final_root_matches
+            assert report.blocks_checked == validator.blockchain.height
+            assert report.txs_replayed >= 7
+
+
+class TestTamperDetection:
+    def test_detects_injected_transaction(self, audited_deployment):
+        """Insert an unauthorized tx into a committed block: the
+        certificate check and the replay both flag it."""
+        deployment = audited_deployment
+        victim = deployment.validators[0].blockchain
+        from repro.crypto.keys import generate_keypair
+
+        forger = generate_keypair(31337)
+        fake_tx = make_transfer(forger, "aa" * 20, 1, nonce=0)
+        target = victim.chain[1]
+        victim.chain[1] = Block(
+            proposer_id=target.proposer_id,
+            index=target.index,
+            transactions=target.transactions + (fake_tx,),
+            parent_hash=target.parent_hash,
+            certificate=target.certificate,
+            round=target.round,
+        )
+        report = audit_chain(
+            victim, genesis=deployment.genesis.build,
+            committee=set(deployment.genesis.validator_addresses),
+            registry=deployment.registry,
+        )
+        # certificate mismatch is a warning (filtered blocks look the
+        # same); the forged zero-balance tx fails the replay, which is
+        # what makes the audit FAIL
+        assert any("certificate" in w for w in report.warnings)
+        assert not report.ok
+        assert any("replay" in p for p in report.problems)
+
+    def test_detects_broken_linkage(self, audited_deployment):
+        deployment = audited_deployment
+        victim = deployment.validators[1].blockchain
+        target = victim.chain[1]
+        victim.chain[1] = Block(
+            proposer_id=target.proposer_id,
+            index=target.index,
+            transactions=target.transactions,
+            parent_hash=b"\x00" * 32,
+            certificate=target.certificate,
+            round=target.round,
+        )
+        report = audit_chain(
+            victim, genesis=deployment.genesis.build,
+            registry=deployment.registry,
+        )
+        assert not report.ok
+        assert any("linkage" in p for p in report.problems)
+
+    def test_detects_foreign_proposer(self, audited_deployment):
+        """A certificate from outside the committee is flagged even when
+        internally consistent."""
+        deployment = audited_deployment
+        victim = deployment.validators[2].blockchain
+        from repro.core.block import make_block
+        from repro.crypto.keys import generate_keypair
+
+        outsider = generate_keypair(999)
+        target = victim.chain[1]
+        victim.chain[1] = make_block(
+            outsider, target.proposer_id, target.index,
+            list(target.transactions), parent_hash=target.parent_hash,
+            round=target.round,
+        )
+        report = audit_chain(
+            victim, genesis=deployment.genesis.build,
+            committee=set(deployment.genesis.validator_addresses),
+            registry=deployment.registry,
+        )
+        assert not report.ok
+        assert any("committee" in p for p in report.problems)
+
+    def test_detects_wrong_genesis(self, audited_deployment):
+        deployment = audited_deployment
+
+        def empty_genesis(state):
+            pass
+
+        report = audit_chain(
+            deployment.validators[0].blockchain,
+            genesis=empty_genesis,
+            registry=deployment.registry,
+        )
+        assert not report.ok

@@ -1,0 +1,121 @@
+"""Deployment plumbing: genesis, probes, wiring."""
+
+import pytest
+
+from repro import params
+from repro.core.deployment import Deployment, GenesisSpec, fund_clients
+from repro.core.rpm import RPMContract
+from repro.core.transaction import make_transfer
+from repro.net.topology import single_region_topology
+from repro.vm.executor import native_address_for
+from repro.vm.state import WorldState
+
+
+class TestGenesisSpec:
+    def test_build_installs_natives_and_balances(self):
+        spec = GenesisSpec(
+            balances={"aa" * 20: 123},
+            validator_addresses=("v1" * 20, "v2" * 20),
+            validator_deposit=777,
+        )
+        state = WorldState()
+        spec.build(state)
+        assert state.balance_of("aa" * 20) == 123
+        for name in spec.natives:
+            assert state.get_account(native_address_for(name)).native == name
+        rpm_addr = native_address_for(RPMContract.name)
+        assert state.storage_get(rpm_addr, "validators") == ("v1" * 20, "v2" * 20)
+        assert state.storage_get(rpm_addr, f"deposit:{'v1' * 20}") == 777
+
+    def test_identical_builds_identical_roots(self):
+        spec = GenesisSpec(balances={"aa" * 20: 5}, validator_addresses=("bb" * 20,))
+        a, b = WorldState(), WorldState()
+        spec.build(a)
+        spec.build(b)
+        assert a.state_root() == b.state_root()
+
+
+class TestDeploymentWiring:
+    def test_topology_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="topology"):
+            Deployment(
+                protocol=params.ProtocolParams(n=4),
+                topology=single_region_topology(7),
+            )
+
+    def test_validators_funded_and_registered(self):
+        deployment = Deployment(
+            protocol=params.ProtocolParams(n=4),
+            topology=single_region_topology(4),
+        )
+        assert len(deployment.validators) == 4
+        for i, validator in enumerate(deployment.validators):
+            assert validator.node_id == i
+            assert validator.blockchain.state.balance_of(validator.address) > 0
+
+    def test_all_replicas_share_genesis_root(self):
+        deployment = Deployment(
+            protocol=params.ProtocolParams(n=4),
+            topology=single_region_topology(4),
+        )
+        roots = {
+            v.blockchain.state.state_root() for v in deployment.validators
+        }
+        assert len(roots) == 1
+
+    def test_fund_clients_deterministic(self):
+        a, balances_a = fund_clients(3, seed=77)
+        b, balances_b = fund_clients(3, seed=77)
+        assert [kp.address for kp in a] == [kp.address for kp in b]
+        assert balances_a == balances_b
+
+    def test_correct_validators_excludes_byzantine(self):
+        from repro.adversary import CrashValidator
+
+        deployment = Deployment(
+            protocol=params.ProtocolParams(n=4),
+            topology=single_region_topology(4),
+            byzantine={2: CrashValidator},
+            byzantine_kwargs={2: {"crash_at": 0.0}},
+        )
+        ids = {v.node_id for v in deployment.correct_validators}
+        assert ids == {0, 1, 3}
+
+
+class TestProbes:
+    def test_safety_probe_detects_forged_divergence(self):
+        """Manually diverge one replica's chain: the probe must notice."""
+        clients, balances = fund_clients(2)
+        deployment = Deployment(
+            protocol=params.ProtocolParams(n=4),
+            topology=single_region_topology(4),
+            extra_balances=balances,
+        )
+        deployment.start()
+        tx = make_transfer(clients[0], clients[1].address, 1, nonce=0)
+        deployment.submit(tx, validator_id=0, at=0.05)
+        deployment.run_until(3.0)
+        assert deployment.safety_holds()
+        # forge: clip one replica's chain and append a different block
+        victim = deployment.validators[0].blockchain
+        from repro.core.block import make_block
+        from repro.crypto.keys import generate_keypair
+
+        forger = generate_keypair(4242)
+        fake = make_block(forger, 0, victim.height, [],
+                          parent_hash=victim.chain[victim.height - 1].block_hash)
+        victim.chain[victim.height] = fake
+        assert not deployment.safety_holds()
+
+    def test_total_committed(self):
+        clients, balances = fund_clients(2)
+        deployment = Deployment(
+            protocol=params.ProtocolParams(n=4, rpm=False),
+            topology=single_region_topology(4),
+            extra_balances=balances,
+        )
+        deployment.start()
+        tx = make_transfer(clients[0], clients[1].address, 1, nonce=0)
+        deployment.submit(tx, validator_id=1, at=0.05)
+        deployment.run_until(3.0)
+        assert deployment.total_committed() == 1

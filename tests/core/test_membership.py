@@ -1,0 +1,131 @@
+"""Membership / committee reconfiguration (§IV-E) + slowly-adaptive adversary."""
+
+import pytest
+
+from repro.core.membership import (
+    Committee,
+    MembershipRegistry,
+    SlowlyAdaptiveAdversary,
+)
+from repro.errors import MembershipError
+
+
+def registry(candidates=8, committee_size=4, **kw):
+    reg = MembershipRegistry(committee_size=committee_size, min_deposit=100, **kw)
+    for i in range(candidates):
+        reg.register(f"validator-{i:02d}", 100)
+    return reg
+
+
+class TestCandidacy:
+    def test_register_and_eligible(self):
+        reg = registry(5)
+        assert len(reg.eligible()) == 5
+
+    def test_deposit_below_minimum_rejected(self):
+        reg = MembershipRegistry(min_deposit=100)
+        with pytest.raises(MembershipError):
+            reg.register("v", 99)
+
+    def test_double_registration_rejected(self):
+        reg = registry(1)
+        with pytest.raises(MembershipError):
+            reg.register("validator-00", 100)
+
+    def test_withdrawal_lock_period(self):
+        reg = registry(5, lock_epochs=2)
+        unlock = reg.request_withdrawal("validator-00")
+        assert unlock == 2
+        with pytest.raises(MembershipError):
+            reg.withdraw("validator-00")  # still locked
+        reg.advance_epoch()
+        reg.advance_epoch()
+        assert reg.withdraw("validator-00") == 100
+
+    def test_withdrawing_candidate_not_eligible(self):
+        reg = registry(5)
+        reg.request_withdrawal("validator-00")
+        assert "validator-00" not in reg.eligible()
+
+    def test_withdraw_without_request_fails(self):
+        reg = registry(5)
+        with pytest.raises(MembershipError):
+            reg.withdraw("validator-00")
+
+    def test_slash_removes_and_excludes(self):
+        reg = registry(5)
+        assert reg.slash("validator-00") == 100
+        assert "validator-00" not in reg.eligible()
+        # cannot simply re-register under the same address
+        reg.register("validator-00", 100)
+        assert "validator-00" not in reg.eligible()  # excluded set persists
+
+
+class TestCommitteeSelection:
+    def test_committee_size(self):
+        committee = registry(8).committee_for(1)
+        assert committee.n == 4
+
+    def test_deterministic_given_seed(self):
+        assert registry(8, seed=5).committee_for(3).members == registry(
+            8, seed=5
+        ).committee_for(3).members
+
+    def test_rotation_changes_committee(self):
+        reg = registry(12)
+        committees = {reg.committee_for(e).members for e in range(10)}
+        assert len(committees) > 1  # rotation actually rotates
+
+    def test_every_candidate_eventually_selected(self):
+        """§IV-E: each candidate is eventually selected because selection
+        is random and periodic."""
+        reg = registry(6, committee_size=3)
+        seen = set()
+        for epoch in range(60):
+            seen.update(reg.committee_for(epoch).members)
+        assert seen == set(reg.eligible())
+
+    def test_insufficient_candidates_raises(self):
+        reg = registry(3, committee_size=4)
+        with pytest.raises(MembershipError):
+            reg.committee_for(1)
+
+    def test_advance_epoch(self):
+        reg = registry(8)
+        committee = reg.advance_epoch()
+        assert committee.epoch == 1
+        assert reg.current_epoch == 1
+
+
+class TestSlowlyAdaptiveAdversary:
+    def test_corruption_only_between_epochs(self):
+        adversary = SlowlyAdaptiveAdversary(f=1, budget_per_epoch=2)
+        committee = Committee(epoch=1, members=("a", "b", "c", "d"))
+        assert adversary.corrupt(committee, ["a", "b"]) == ["a"]  # global f cap
+        assert adversary.corrupt(committee, ["c"]) == []  # same epoch: blocked
+
+    def test_global_budget_never_exceeds_f(self):
+        adversary = SlowlyAdaptiveAdversary(f=2, budget_per_epoch=5)
+        members = ("a", "b", "c", "d", "e", "f", "g")
+        for epoch in range(1, 10):
+            committee = Committee(epoch=epoch, members=members)
+            adversary.corrupt(committee, list(members))
+            assert len(adversary.corrupted) <= 2
+            assert adversary.corrupted_in(committee) <= 2
+
+    def test_release_frees_budget(self):
+        adversary = SlowlyAdaptiveAdversary(f=1, budget_per_epoch=1)
+        c1 = Committee(epoch=1, members=("a", "b", "c", "d"))
+        assert adversary.corrupt(c1, ["a"]) == ["a"]
+        c2 = Committee(epoch=2, members=("a", "b", "c", "d"))
+        assert adversary.corrupt(c2, ["b"]) == []  # budget exhausted
+        adversary.release("a")
+        c3 = Committee(epoch=3, members=("a", "b", "c", "d"))
+        assert adversary.corrupt(c3, ["b"]) == ["b"]
+
+    def test_already_corrupted_not_recounted(self):
+        adversary = SlowlyAdaptiveAdversary(f=2, budget_per_epoch=2)
+        c1 = Committee(epoch=1, members=("a", "b"))
+        adversary.corrupt(c1, ["a"])
+        c2 = Committee(epoch=2, members=("a", "b"))
+        assert adversary.corrupt(c2, ["a", "b"]) == ["b"]

@@ -1,0 +1,130 @@
+"""Client read requests: local API + network round trips."""
+
+import pytest
+
+from repro import params
+from repro.core.deployment import Deployment, fund_clients
+from repro.core.queries import (
+    QueryAPI,
+    RemoteClient,
+    attach_query_service,
+)
+from repro.core.transaction import make_invoke, make_transfer
+from repro.net.topology import single_region_topology
+from repro.vm.executor import native_address_for
+
+
+@pytest.fixture
+def live():
+    clients, balances = fund_clients(2)
+    deployment = Deployment(
+        protocol=params.ProtocolParams(n=4),
+        topology=single_region_topology(4),
+        extra_balances=balances,
+    )
+    deployment.start()
+    tx = make_transfer(clients[0], clients[1].address, 77, nonce=0)
+    trade = make_invoke(
+        clients[0], native_address_for("exchange"), "trade",
+        ("AAPL", 101, 3, "buy"), nonce=1,
+    )
+    deployment.submit(tx, validator_id=0, at=0.05)
+    deployment.submit(trade, validator_id=0, at=0.06)
+    deployment.run_until(4.0)
+    return deployment, clients, tx
+
+
+class TestLocalAPI:
+    def test_balance_nonce(self, live):
+        deployment, clients, _ = live
+        api = QueryAPI(deployment.validators[1])
+        from repro.core.deployment import GENESIS_BALANCE
+
+        assert api.get_balance(clients[1].address) == GENESIS_BALANCE + 77
+        assert api.get_nonce(clients[0].address) == 2
+
+    def test_storage(self, live):
+        deployment, _, _ = live
+        api = QueryAPI(deployment.validators[2])
+        assert api.get_storage(native_address_for("exchange"), "last_price:AAPL") == 101
+
+    def test_receipt(self, live):
+        deployment, _, tx = live
+        api = QueryAPI(deployment.validators[0])
+        receipt = api.get_receipt(tx.tx_hash.hex())
+        assert receipt is not None and receipt["success"]
+        assert receipt["height"] >= 1
+        assert api.get_receipt("00" * 32) is None
+
+    def test_blocks_and_head(self, live):
+        deployment, _, _ = live
+        api = QueryAPI(deployment.validators[0])
+        head = api.get_head()
+        assert head["height"] == api.get_height() > 0
+        block = api.get_block_by_height(1)
+        assert block is not None and block["height"] == 1
+        assert api.get_block_by_height(10_000) is None
+
+    def test_dispatch_unknown_method(self, live):
+        deployment, _, _ = live
+        from repro.core.queries import Query
+
+        api = QueryAPI(deployment.validators[0])
+        response = api.dispatch(Query(method="drop_tables", args=(),
+                                      request_id=1, reply_to=99))
+        assert response.error is not None
+
+    def test_dispatch_bad_args(self, live):
+        deployment, _, _ = live
+        from repro.core.queries import Query
+
+        api = QueryAPI(deployment.validators[0])
+        response = api.dispatch(Query(method="get_balance", args=(),
+                                      request_id=2, reply_to=99))
+        assert response.error is not None
+
+
+class TestRemoteClient:
+    def test_network_round_trip(self, live):
+        deployment, clients, _ = live
+        for validator in deployment.validators:
+            attach_query_service(validator)
+        remote = RemoteClient(deployment.network, endpoint_id=100)
+        request = remote.ask(0, "get_balance", clients[1].address)
+        deployment.run_until(deployment.sim.now + 1.0)
+        responses = remote.responses[request]
+        from repro.core.deployment import GENESIS_BALANCE
+
+        assert responses[0].result == GENESIS_BALANCE + 77
+        assert responses[0].responder == 0
+
+    def test_confirmed_read_f_plus_1(self, live):
+        deployment, clients, _ = live
+        for validator in deployment.validators:
+            attach_query_service(validator)
+        remote = RemoteClient(deployment.network, endpoint_id=101)
+        requests = remote.ask_many(range(4), "get_balance", clients[1].address)
+        deployment.run_until(deployment.sim.now + 1.0)
+        value = remote.confirmed_result(requests, threshold=2)  # f+1
+        from repro.core.deployment import GENESIS_BALANCE
+
+        assert value == GENESIS_BALANCE + 77
+
+    def test_callback_fires(self, live):
+        deployment, clients, _ = live
+        attach_query_service(deployment.validators[3])
+        remote = RemoteClient(deployment.network, endpoint_id=102)
+        seen = []
+        remote.ask(3, "get_height", callback=seen.append)
+        deployment.run_until(deployment.sim.now + 1.0)
+        assert len(seen) == 1 and seen[0].result > 0
+
+    def test_query_service_does_not_break_consensus(self, live):
+        """Attaching the read service must leave the write path intact."""
+        deployment, clients, _ = live
+        for validator in deployment.validators:
+            attach_query_service(validator)
+        tx = make_transfer(clients[1], clients[0].address, 5, nonce=0)
+        deployment.submit(tx, validator_id=1, at=deployment.sim.now)
+        deployment.run_until(deployment.sim.now + 4.0)
+        assert deployment.committed_everywhere(tx)

@@ -1,0 +1,113 @@
+"""Reward design and the block-proposal game (§IV-F, Theorem 1)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.rewards import (
+    PayoffOutcome,
+    RewardDesign,
+    Strategy,
+    best_response,
+    byzantine_payoff,
+    correct_payoff,
+    theorem1_holds,
+)
+
+
+DESIGN = RewardDesign(block_reward=100, validation_cost=0.01)
+
+
+class TestRewardAlgebra:
+    def test_incentive(self):
+        assert DESIGN.incentive(tx_fees=25) == 125  # I = r_b + Σ fees
+
+    def test_validation_cost(self):
+        assert DESIGN.validation_cost_for(1000) == 10.0  # C = |T|·c
+
+    def test_reward_equation(self):
+        # R = I − C − P
+        assert DESIGN.reward(1000, tx_fees=25, penalty=5) == 125 - 10 - 5
+
+
+class TestPayoffs:
+    def test_correct_strategy_gains(self):
+        outcome = correct_payoff(DESIGN, 1000, tx_fees=50, deposit=10_000)
+        assert outcome.payoff == 150 - 10
+        assert outcome.deposit_after == 10_000 + 140
+        assert not outcome.slashed
+
+    def test_byzantine_saves_cost_if_unreported(self):
+        outcome = byzantine_payoff(
+            DESIGN, 1000, tx_fees=50, deposit=10_000,
+            skipped_validations=1000, reported=False,
+        )
+        assert outcome.payoff == 150  # C' = 0, pockets the savings
+        assert not outcome.slashed
+
+    def test_byzantine_reported_loses_whole_deposit(self):
+        outcome = byzantine_payoff(
+            DESIGN, 1000, tx_fees=50, deposit=10_000,
+            skipped_validations=1000, reported=True,
+        )
+        assert outcome.payoff == -10_000  # −D, Theorem 1
+        assert outcome.deposit_after == 0
+        assert outcome.slashed
+
+    def test_partial_skip(self):
+        outcome = byzantine_payoff(
+            DESIGN, 1000, tx_fees=0, deposit=0,
+            skipped_validations=400, reported=False,
+        )
+        # C' = (1000−400)·0.01 = 6
+        assert outcome.payoff == 100 - 6
+
+
+class TestBestResponse:
+    def test_certain_reporting_makes_correct_dominant(self):
+        assert (
+            best_response(DESIGN, 1000, tx_fees=50, deposit=10_000)
+            is Strategy.CORRECT
+        )
+
+    def test_no_reporting_makes_byzantine_tempting(self):
+        assert (
+            best_response(DESIGN, 1000, tx_fees=50, deposit=10_000,
+                          report_probability=0.0)
+            is Strategy.BYZANTINE
+        )
+
+    def test_threshold_probability(self):
+        """Correct dominates once p · (D + gain) ≥ savings."""
+        deposit = 10_000
+        # savings = C = 10; caught payoff = −10000; free payoff = 150
+        # correct payoff = 140. Indifference: 140 = p(−10000) + (1−p)150
+        # → p* ≈ 0.000985; any p above flips to CORRECT.
+        assert (
+            best_response(DESIGN, 1000, 50, deposit, report_probability=0.01)
+            is Strategy.CORRECT
+        )
+        assert (
+            best_response(DESIGN, 1000, 50, deposit, report_probability=0.0001)
+            is Strategy.BYZANTINE
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=100_000),  # tx_count
+        st.floats(min_value=0, max_value=10_000, allow_nan=False),
+        st.integers(min_value=1, max_value=10**9),  # deposit
+    )
+    def test_property_theorem1(self, tx_count, tx_fees, deposit):
+        """Reported Byzantine proposers always end at zero deposit with a
+        strictly negative round payoff (for any positive deposit)."""
+        assert theorem1_holds(DESIGN, tx_count, tx_fees, deposit)
+
+    @given(
+        st.integers(min_value=1, max_value=10_000),
+        st.integers(min_value=1, max_value=10**8),
+    )
+    def test_property_correct_beats_reported_byzantine(self, tx_count, deposit):
+        correct = correct_payoff(DESIGN, tx_count, 0, deposit).payoff
+        byz = byzantine_payoff(
+            DESIGN, tx_count, 0, deposit,
+            skipped_validations=tx_count, reported=True,
+        ).payoff
+        assert correct > byz

@@ -1,0 +1,121 @@
+"""Eager vs lazy validation — the layering §IV-D depends on."""
+
+import pytest
+
+from repro import params
+from repro.core.transaction import Transaction, TxType, make_transfer
+from repro.core.validation import NONCE_WINDOW, eager_validate, lazy_validate
+from repro.crypto.keys import generate_keypair
+from repro.vm.state import WorldState
+
+FUNDS = 10**9
+
+
+@pytest.fixture
+def kp():
+    return generate_keypair(5)
+
+
+@pytest.fixture
+def state(kp):
+    ws = WorldState()
+    ws.create_account(kp.address, FUNDS)
+    return ws
+
+
+class TestEagerValidation:
+    def test_valid_transfer_passes(self, kp, state):
+        tx = make_transfer(kp, "aa" * 20, 10, nonce=0)
+        assert eager_validate(tx, state)
+
+    def test_unsigned_fails(self, kp, state):
+        tx = Transaction(
+            tx_type=TxType.TRANSFER, sender=kp.address, receiver="aa" * 20,
+            amount=1, nonce=0, gas_limit=21_000, gas_price=1,
+        )
+        assert eager_validate(tx, state).error_code == "invalid-sig"
+
+    def test_forged_sender_fails(self, kp, state):
+        other = generate_keypair(6)
+        tx = make_transfer(other, "aa" * 20, 1, nonce=0)
+        forged = Transaction(
+            tx_type=tx.tx_type, sender=kp.address, receiver=tx.receiver,
+            amount=tx.amount, nonce=tx.nonce, gas_limit=tx.gas_limit,
+            gas_price=tx.gas_price, public_key=tx.public_key, signature=tx.signature,
+        )
+        assert eager_validate(forged, state).error_code == "invalid-sig"
+
+    def test_oversized_fails(self, kp, state):
+        tx = make_transfer(kp, "aa" * 20, 1, nonce=0, padding=params.MAX_TX_SIZE)
+        assert eager_validate(tx, state).error_code == "oversized"
+
+    def test_past_nonce_fails(self, kp, state):
+        state.bump_nonce(kp.address)
+        tx = make_transfer(kp, "aa" * 20, 1, nonce=0)
+        assert eager_validate(tx, state).error_code == "bad-nonce"
+
+    def test_future_nonce_within_window_passes(self, kp, state):
+        tx = make_transfer(kp, "aa" * 20, 1, nonce=NONCE_WINDOW)
+        assert eager_validate(tx, state)
+
+    def test_far_future_nonce_fails(self, kp, state):
+        tx = make_transfer(kp, "aa" * 20, 1, nonce=NONCE_WINDOW + 1)
+        assert eager_validate(tx, state).error_code == "bad-nonce"
+
+    def test_zero_balance_sender_fails(self, state):
+        broke = generate_keypair(7)
+        tx = make_transfer(broke, "aa" * 20, 1, nonce=0)
+        outcome = eager_validate(tx, state)
+        assert outcome.error_code in ("insufficient-gas", "insufficient-balance")
+
+    def test_amount_beyond_balance_fails(self, kp, state):
+        tx = make_transfer(kp, "aa" * 20, FUNDS, nonce=0)
+        assert eager_validate(tx, state).error_code == "insufficient-balance"
+
+    def test_gas_limit_above_block_limit_fails(self, kp, state):
+        tx = make_transfer(kp, "aa" * 20, 1, nonce=0,
+                           gas_limit=params.BLOCK_GAS_LIMIT + 1)
+        assert not eager_validate(tx, state)
+
+
+class TestLazyValidation:
+    def test_valid_passes(self, kp, state):
+        tx = make_transfer(kp, "aa" * 20, 10, nonce=0)
+        assert lazy_validate(tx, state)
+
+    def test_lazy_skips_signature(self, kp, state):
+        """Lazy validation is weaker than eager: an unsigned transaction
+        passes (the execution layer catches it) — §IV-D's check split."""
+        tx = Transaction(
+            tx_type=TxType.TRANSFER, sender=kp.address, receiver="aa" * 20,
+            amount=1, nonce=0, gas_limit=21_000, gas_price=1,
+        )
+        assert lazy_validate(tx, state)
+
+    def test_lazy_skips_size(self, kp, state):
+        tx = make_transfer(kp, "aa" * 20, 1, nonce=0, padding=params.MAX_TX_SIZE)
+        assert lazy_validate(tx, state)
+
+    def test_lazy_requires_exact_nonce(self, kp, state):
+        tx = make_transfer(kp, "aa" * 20, 1, nonce=1)
+        assert lazy_validate(tx, state).error_code == "bad-nonce"
+
+    def test_lazy_checks_balance(self, kp, state):
+        tx = make_transfer(kp, "aa" * 20, FUNDS, nonce=0)
+        assert lazy_validate(tx, state).error_code == "insufficient-balance"
+
+    def test_lazy_checks_gas_affordability(self, state):
+        poor = generate_keypair(8)
+        state.create_account(poor.address, 100)  # can't cover 21000 gas
+        tx = make_transfer(poor, "aa" * 20, 1, nonce=0)
+        assert lazy_validate(tx, state).error_code == "insufficient-gas"
+
+    def test_eager_strictly_stronger(self, kp, state):
+        """Everything lazy rejects, eager rejects too (on fresh state)."""
+        cases = [
+            make_transfer(kp, "aa" * 20, FUNDS, nonce=0),
+            make_transfer(kp, "aa" * 20, 1, nonce=NONCE_WINDOW + 5),
+        ]
+        for tx in cases:
+            if not lazy_validate(tx, state):
+                assert not eager_validate(tx, state)

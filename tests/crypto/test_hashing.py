@@ -1,0 +1,46 @@
+"""hash_items: canonical encoding properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.hashing import hash_items, sha256, sha256_hex
+
+
+def test_sha256_known_vector():
+    assert (
+        sha256_hex(b"")
+        == "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    )
+
+
+def test_sha256_length():
+    assert len(sha256(b"x")) == 32
+
+
+def test_hash_items_length_prefixing():
+    assert hash_items(["ab", "c"]) != hash_items(["a", "bc"])
+
+
+def test_hash_items_type_distinction():
+    assert hash_items([1]) != hash_items(["1"])
+    assert hash_items([True]) != hash_items([1])
+    assert hash_items([None]) != hash_items([b""])
+
+
+def test_hash_items_order_sensitive():
+    assert hash_items([1, 2]) != hash_items([2, 1])
+
+
+def test_hash_items_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        hash_items([object()])
+
+
+def test_hash_items_floats():
+    assert hash_items([1.5]) == hash_items([1.5])
+    assert hash_items([1.5]) != hash_items([1.6])
+
+
+@given(st.lists(st.one_of(st.integers(), st.text(), st.binary()), max_size=10))
+def test_hash_items_deterministic(items):
+    assert hash_items(items) == hash_items(items)

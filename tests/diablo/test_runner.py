@@ -1,0 +1,43 @@
+"""High-level workload runner."""
+
+import pytest
+
+from repro.diablo.runner import run_dapp_workload
+
+
+class TestRunner:
+    def test_nasdaq_engine_run(self):
+        outcome = run_dapp_workload("nasdaq", scale=0.005, clients=8)
+        assert outcome.result.commit_rate == 1.0
+        assert outcome.safety_holds and outcome.states_agree
+        # the exchange contract actually executed trades
+        from repro.vm.executor import native_address_for
+
+        state = outcome.deployment.validators[0].blockchain.state
+        volumes = [
+            state.storage_get(native_address_for("exchange"), f"volume:{sym}", 0)
+            for sym in ("AAPL", "AMZN", "FB", "MSFT", "GOOG")
+        ]
+        assert sum(volumes) > 0
+
+    def test_uber_engine_run(self):
+        outcome = run_dapp_workload("uber", scale=0.002, clients=8)
+        assert outcome.result.commit_rate == 1.0
+        from repro.vm.executor import native_address_for
+
+        state = outcome.deployment.validators[0].blockchain.state
+        rides = state.storage_get(native_address_for("mobility"), "next_ride", 0)
+        assert rides == outcome.result.committed
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError, match="fifa"):
+            run_dapp_workload("minecraft")
+
+    def test_tvpr_toggle(self):
+        modern = run_dapp_workload("uber", scale=0.001, clients=4, tvpr=False)
+        total_eager = sum(
+            v.stats.eager_validations
+            for v in modern.deployment.validators
+        )
+        # every validator validated every tx in modern mode
+        assert total_eager == 4 * modern.result.sent

@@ -1,0 +1,58 @@
+"""Regression: undecided blocks delivered after the decision must recycle.
+
+Found by the hypothesis schedule tests: under pre-GST delays a proposer's
+block can be voted out (proposer timeout) while its reliable broadcast is
+still in flight.  Two bugs conspired to lose the transactions forever:
+
+1. the node dropped *all* consensus traffic for already-committed
+   indices, including RBC ECHO/READY — breaking RBC totality, so the
+   block never finished delivering anywhere;
+2. even when delivered late, nothing recycled it (Alg. 1 line 31 only ran
+   at decision time).
+
+The fix routes RBC traffic regardless of round staleness and recycles
+late deliveries via the ``on_undecided_block`` hook.  This test pins the
+exact falsifying schedule.
+"""
+
+from repro import params
+from repro.core.deployment import Deployment, fund_clients
+from repro.core.transaction import make_transfer
+from repro.net.topology import single_region_topology
+from repro.net.transport import PartialSynchrony
+
+
+def test_slow_rbc_block_recycles_and_commits():
+    gst, delay_scale = 1.0, 1.0
+    clients, balances = fund_clients(3)
+    timing = PartialSynchrony(gst=gst, delta=0.5, pre_gst_max_delay=3.0)
+
+    def adversarial(src: int, dst: int, now: float) -> float:
+        if now >= gst:
+            return 0.0
+        return delay_scale * (((src * 31 + dst * 17 + int(now * 10)) % 7) / 3.0)
+
+    deployment = Deployment(
+        protocol=params.ProtocolParams(n=4, rpm=False),
+        topology=single_region_topology(4),
+        extra_balances=balances,
+        seed=0,
+        timing=timing,
+        proposer_timeout=4.0,
+    )
+    deployment.network.adversarial_delay = adversarial
+    deployment.start()
+    txs = []
+    for i in range(6):
+        sender = clients[i % 3]
+        tx = make_transfer(sender, clients[(i + 1) % 3].address, 1, nonce=i // 3)
+        deployment.submit(tx, validator_id=i % 4, at=0.0)
+        txs.append(tx)
+    deployment.run_until(gst + 25.0)
+
+    # the slow proposer's block was voted out but its transactions recycle
+    assert any(v.stats.recycled_from_undecided > 0 for v in deployment.validators)
+    for tx in txs:
+        assert deployment.committed_everywhere(tx)
+    assert deployment.safety_holds()
+    assert deployment.states_agree()

@@ -1,0 +1,154 @@
+"""End-to-end SRBB deployments: Theorem 2 (liveness, safety, validity).
+
+These tests run the full message-level engine — clients, pools, TVPR,
+reliable broadcast, DBFT superblock consensus, execution, RPM — on the
+discrete-event network.
+"""
+
+import pytest
+
+from repro import params
+from repro.core.deployment import Deployment, fund_clients
+from repro.core.transaction import make_invoke, make_transfer
+from repro.crypto.keys import generate_keypair
+from repro.net.topology import global_topology, single_region_topology
+from repro.vm.executor import native_address_for
+
+
+def make_deployment(n=4, *, tvpr=True, rpm=True, clients=4, topology=None, **kw):
+    client_keys, balances = fund_clients(clients)
+    deployment = Deployment(
+        protocol=params.ProtocolParams(n=n, tvpr=tvpr, rpm=rpm),
+        topology=topology or single_region_topology(n),
+        extra_balances=balances,
+        **kw,
+    )
+    return deployment, client_keys
+
+
+class TestLiveness:
+    def test_transfer_committed_on_all_validators(self):
+        deployment, clients = make_deployment()
+        deployment.start()
+        tx = make_transfer(clients[0], clients[1].address, 42, nonce=0)
+        deployment.submit(tx, validator_id=0, at=0.05)
+        deployment.run_until(5.0)
+        assert deployment.committed_everywhere(tx)
+
+    def test_transaction_to_any_validator_commits(self):
+        """TVPR liveness: a tx sent to exactly ONE validator still reaches
+        every chain, through that validator's block."""
+        deployment, clients = make_deployment()
+        deployment.start()
+        txs = []
+        for v in range(4):
+            tx = make_transfer(clients[v], clients[(v + 1) % 4].address, 1, nonce=0)
+            deployment.submit(tx, validator_id=v, at=0.05)
+            txs.append(tx)
+        deployment.run_until(5.0)
+        for tx in txs:
+            assert deployment.committed_everywhere(tx)
+
+    def test_nonce_sequence_commits_in_order(self):
+        deployment, clients = make_deployment()
+        deployment.start()
+        txs = [
+            make_transfer(clients[0], clients[1].address, 1, nonce=i)
+            for i in range(10)
+        ]
+        for i, tx in enumerate(txs):
+            deployment.submit(tx, validator_id=0, at=0.02 * (i + 1))
+        deployment.run_until(8.0)
+        chain = deployment.validators[1].blockchain
+        assert all(chain.contains_tx(tx) for tx in txs)
+        times = [chain.commit_times[tx.tx_hash] for tx in txs]
+        assert times == sorted(times)
+
+    def test_contract_invocation_end_to_end(self):
+        deployment, clients = make_deployment()
+        deployment.start()
+        exchange = native_address_for("exchange")
+        tx = make_invoke(clients[0], exchange, "trade", ("AAPL", 150_00, 10, "buy"), nonce=0)
+        deployment.submit(tx, validator_id=2, at=0.05)
+        deployment.run_until(5.0)
+        for validator in deployment.validators:
+            price = validator.blockchain.state.storage_get(exchange, "last_price:AAPL")
+            assert price == 150_00
+
+    def test_invalid_transaction_never_commits(self):
+        deployment, clients = make_deployment()
+        deployment.start()
+        broke = generate_keypair(12345)
+        bad = make_transfer(broke, clients[0].address, 5, nonce=0)
+        deployment.submit(bad, validator_id=0, at=0.05)
+        deployment.run_until(3.0)
+        assert not any(
+            v.blockchain.contains_tx(bad) for v in deployment.validators
+        )
+        # dropped at eager validation, never even pooled
+        assert deployment.validators[0].stats.eager_failures == 1
+
+
+class TestSafety:
+    @pytest.mark.parametrize("n", [4, 7])
+    def test_chains_prefix_consistent_under_load(self, n):
+        deployment, clients = make_deployment(n=n, clients=8)
+        deployment.start()
+        for i in range(40):
+            sender = clients[i % len(clients)]
+            tx = make_transfer(
+                sender, clients[(i + 1) % len(clients)].address, 1,
+                nonce=i // len(clients), created_at=0.01 * i,
+            )
+            deployment.submit(tx, validator_id=i % n, at=0.01 * i)
+        deployment.run_until(10.0)
+        assert deployment.safety_holds()
+        assert deployment.states_agree()
+        assert deployment.total_committed() >= 40
+
+    def test_state_roots_identical_at_same_height(self):
+        deployment, clients = make_deployment()
+        deployment.start()
+        for i in range(10):
+            tx = make_transfer(clients[0], clients[1].address, 1, nonce=i)
+            deployment.submit(tx, validator_id=i % 4, at=0.05 + 0.01 * i)
+        deployment.run_until(6.0)
+        heights = {v.blockchain.height for v in deployment.validators}
+        if len(heights) == 1:
+            roots = {v.blockchain.state.state_root() for v in deployment.validators}
+            assert len(roots) == 1
+
+
+class TestValidity:
+    def test_committed_blocks_contain_only_valid_txs(self):
+        """Definition 1 validity: walk every committed block and re-verify
+        every transaction's signature and the block's certificate."""
+        deployment, clients = make_deployment()
+        deployment.start()
+        for i in range(6):
+            tx = make_transfer(clients[i % 4], clients[(i + 1) % 4].address, 2, nonce=i // 4)
+            deployment.submit(tx, validator_id=i % 4, at=0.05 + 0.01 * i)
+        deployment.run_until(5.0)
+        from repro.crypto.keys import recover_check
+
+        for validator in deployment.validators:
+            for block in validator.blockchain.chain[1:]:
+                for tx in block.transactions:
+                    assert recover_check(
+                        tx.public_key, tx.signing_payload(), tx.signature, tx.sender
+                    )
+
+
+class TestGlobalDeployment:
+    def test_cross_region_consensus(self):
+        """10-region deployment still reaches consensus (higher latency)."""
+        deployment, clients = make_deployment(
+            n=10, topology=global_topology(10), round_interval=0.5,
+            proposer_timeout=5.0,
+        )
+        deployment.start()
+        tx = make_transfer(clients[0], clients[1].address, 3, nonce=0)
+        deployment.submit(tx, validator_id=0, at=0.1)
+        deployment.run_until(20.0)
+        assert deployment.committed_everywhere(tx)
+        assert deployment.safety_holds()

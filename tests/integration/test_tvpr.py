@@ -1,0 +1,100 @@
+"""TVPR invariants (Fig. 1 as measurable counts).
+
+Modern protocol: every transaction is eagerly validated at *every*
+validator and gossiped across the overlay.  TVPR: exactly one eager
+validation per client transaction, zero individual-transaction gossip.
+"""
+
+from repro import params
+from repro.core.deployment import Deployment, fund_clients
+from repro.core.transaction import make_transfer
+from repro.net.topology import single_region_topology
+
+N = 6
+TXS = 10
+
+
+def run_deployment(tvpr: bool):
+    clients, balances = fund_clients(4)
+    deployment = Deployment(
+        protocol=params.ProtocolParams(n=N, tvpr=tvpr, rpm=False),
+        topology=single_region_topology(N),
+        extra_balances=balances,
+    )
+    deployment.start()
+    txs = []
+    for i in range(TXS):
+        sender = clients[i % 4]
+        tx = make_transfer(sender, clients[(i + 1) % 4].address, 1,
+                           nonce=i // 4, created_at=0.01 * i)
+        deployment.submit(tx, validator_id=i % N, at=0.01 * i)
+        txs.append(tx)
+    deployment.run_until(8.0)
+    return deployment, txs
+
+
+class TestTVPRInvariant:
+    def test_tvpr_validates_each_tx_exactly_once(self):
+        deployment, txs = run_deployment(tvpr=True)
+        total_eager = sum(v.stats.eager_validations for v in deployment.validators)
+        # exactly one eager validation per client tx (no RPM, no gossip,
+        # no recycling in this quiet run)
+        assert total_eager == TXS
+        assert all(deployment.committed_everywhere(tx) for tx in txs)
+
+    def test_tvpr_sends_zero_tx_gossip(self):
+        deployment, _ = run_deployment(tvpr=True)
+        assert "gossip" not in deployment.network.stats.by_kind
+
+    def test_modern_validates_at_every_validator(self):
+        deployment, txs = run_deployment(tvpr=False)
+        total_eager = sum(v.stats.eager_validations for v in deployment.validators)
+        # every validator sees (and validates) every transaction once
+        assert total_eager == N * TXS
+        assert all(deployment.committed_everywhere(tx) for tx in txs)
+
+    def test_modern_gossip_traffic_nonzero(self):
+        deployment, _ = run_deployment(tvpr=False)
+        gossip = deployment.network.stats.by_kind.get("gossip")
+        assert gossip is not None
+        messages, _ = gossip
+        # full mesh: ≥ (n-1) sends per tx origination, plus forwards
+        assert messages >= TXS * (N - 1)
+
+    def test_redundancy_factor_matches_paper_claim(self):
+        """§IV-B: 'a transaction t is eagerly validated n times, whereas
+        TVPR eagerly validates a transaction t once'."""
+        modern, _ = run_deployment(tvpr=False)
+        tvpr, _ = run_deployment(tvpr=True)
+        modern_eager = sum(v.stats.eager_validations for v in modern.validators)
+        tvpr_eager = sum(v.stats.eager_validations for v in tvpr.validators)
+        assert modern_eager == N * tvpr_eager
+
+    def test_both_modes_commit_everything(self):
+        """TVPR removes redundancy without losing liveness (Theorem 2)."""
+        for tvpr in (True, False):
+            deployment, txs = run_deployment(tvpr=tvpr)
+            for tx in txs:
+                assert deployment.committed_everywhere(tx)
+
+    def test_modern_mode_wastes_bandwidth(self):
+        """§III-B's second cost: gossip consumes network bytes that TVPR's
+        block-only propagation never spends."""
+        modern, _ = run_deployment(tvpr=False)
+        tvpr, _ = run_deployment(tvpr=True)
+        modern_gossip_bytes = modern.network.stats.by_kind.get("gossip", [0, 0])[1]
+        tvpr_gossip_bytes = tvpr.network.stats.by_kind.get("gossip", [0, 0])[1]
+        assert tvpr_gossip_bytes == 0
+        # each tx ~200B gossiped across a 6-node full mesh ≥ 5 sends
+        assert modern_gossip_bytes > TXS * 5 * 150
+
+    def test_duplicate_inclusion_suppressed_in_modern_mode(self):
+        """Without TVPR a tx reaches every pool — proposers would all
+        include it; dedup at commit keeps exactly one copy."""
+        deployment, txs = run_deployment(tvpr=False)
+        chain = deployment.validators[0].blockchain
+        seen = {}
+        for block in chain.chain[1:]:
+            for tx in block.transactions:
+                seen[tx.tx_hash] = seen.get(tx.tx_hash, 0) + 1
+        assert all(count == 1 for count in seen.values())

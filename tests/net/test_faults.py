@@ -1,0 +1,87 @@
+"""Delay strategies + their effect on live deployments."""
+
+from repro import params
+from repro.core.deployment import Deployment, fund_clients
+from repro.core.transaction import make_transfer
+from repro.net.faults import (
+    combine,
+    no_delay,
+    slow_nodes,
+    soft_partition,
+    targeted_proposer_lag,
+    uniform_jitter,
+)
+from repro.net.topology import single_region_topology
+from repro.net.transport import PartialSynchrony
+
+
+class TestStrategies:
+    def test_no_delay(self):
+        assert no_delay()(0, 1, 5.0) == 0.0
+
+    def test_uniform_jitter_bounded(self):
+        fn = uniform_jitter(0.5, seed=1)
+        samples = [fn(0, 1, 0.0) for _ in range(100)]
+        assert all(0.0 <= s <= 0.5 for s in samples)
+        assert max(samples) > 0.1
+
+    def test_slow_nodes(self):
+        fn = slow_nodes([2], 1.5)
+        assert fn(2, 0, 0.0) == 1.5
+        assert fn(0, 2, 0.0) == 1.5
+        assert fn(0, 1, 0.0) == 0.0
+
+    def test_soft_partition_heals(self):
+        fn = soft_partition([0, 1], [2, 3], 2.0, heal_at=10.0)
+        assert fn(0, 2, 5.0) == 2.0
+        assert fn(0, 1, 5.0) == 0.0
+        assert fn(0, 2, 10.0) == 0.0
+
+    def test_targeted_lag(self):
+        fn = targeted_proposer_lag(1, 3.0, until=5.0)
+        assert fn(1, 0, 1.0) == 3.0
+        assert fn(0, 1, 1.0) == 0.0  # only outgoing
+        assert fn(1, 0, 6.0) == 0.0
+
+    def test_combine(self):
+        fn = combine(slow_nodes([0], 1.0), targeted_proposer_lag(0, 2.0))
+        assert fn(0, 1, 0.0) == 3.0
+
+
+class TestLiveEffects:
+    def _deployment(self, delay_fn, *, gst=5.0):
+        clients, balances = fund_clients(2)
+        deployment = Deployment(
+            protocol=params.ProtocolParams(n=4, rpm=False),
+            topology=single_region_topology(4),
+            extra_balances=balances,
+            timing=PartialSynchrony(gst=gst, delta=0.5, pre_gst_max_delay=4.0),
+            proposer_timeout=3.0,
+        )
+        deployment.network.adversarial_delay = delay_fn
+        return deployment, clients
+
+    def test_soft_partition_recovers_after_heal(self):
+        deployment, clients = self._deployment(
+            soft_partition([0, 1], [2, 3], 3.5, heal_at=6.0), gst=6.0
+        )
+        deployment.start()
+        tx = make_transfer(clients[0], clients[1].address, 1, nonce=0)
+        deployment.submit(tx, validator_id=0, at=0.1)
+        deployment.run_until(30.0)
+        assert deployment.committed_everywhere(tx)
+        assert deployment.safety_holds()
+        assert deployment.states_agree()
+
+    def test_targeted_lag_cannot_lose_transactions(self):
+        """Delaying one correct proposer may get its blocks voted out, but
+        recycling (and eventually GST) commits its transactions anyway."""
+        deployment, clients = self._deployment(
+            targeted_proposer_lag(0, 3.5, until=8.0), gst=8.0
+        )
+        deployment.start()
+        tx = make_transfer(clients[0], clients[1].address, 1, nonce=0)
+        deployment.submit(tx, validator_id=0, at=0.1)  # to the lagged node!
+        deployment.run_until(40.0)
+        assert deployment.committed_everywhere(tx)
+        assert deployment.safety_holds()

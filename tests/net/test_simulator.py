@@ -1,0 +1,107 @@
+"""Discrete-event scheduler: ordering, cancellation, run_until."""
+
+import pytest
+
+from repro.net.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "b")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(3.0, fired.append, "c")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for name in "abc":
+            sim.schedule(1.0, fired.append, name)
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.0, lambda: sim.schedule_at(1.0, seen.append, "past"))
+        sim.run()
+        # scheduling "at 1.0" when now=2.0 clamps to now
+        assert seen == ["past"]
+        assert sim.now == 2.0
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.schedule(1.0, lambda: fired.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == ["outer", "inner"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending == 1
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run_until(3.0)
+        assert fired == ["a"]
+        assert sim.now == 3.0
+        sim.run_until(10.0)
+        assert fired == ["a", "b"]
+
+    def test_boundary_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, fired.append, "x")
+        sim.run_until(3.0)
+        assert fired == ["x"]
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        count = [0]
+
+        def respawn():
+            count[0] += 1
+            sim.schedule(0.1, respawn)
+
+        sim.schedule(0.0, respawn)
+        sim.run(max_events=50)
+        assert count[0] == 50

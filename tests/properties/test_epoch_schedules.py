@@ -1,0 +1,58 @@
+"""Committee-schedule properties under hypothesis."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.epochs import CommitteeSchedule
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    pool=st.integers(min_value=4, max_value=40),
+    committee=st.integers(min_value=4, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    epoch=st.integers(min_value=0, max_value=10_000),
+)
+def test_committee_well_formed(pool, committee, seed, epoch):
+    if committee > pool:
+        committee = pool
+    schedule = CommitteeSchedule(pool_size=pool, committee_size=committee, seed=seed)
+    members = schedule.committee_for_epoch(epoch)
+    assert len(members) == committee
+    assert len(set(members)) == committee  # no duplicates
+    assert all(0 <= m < pool for m in members)
+    assert members == tuple(sorted(members))  # canonical order
+    # deterministic: recompute identically
+    assert members == CommitteeSchedule(
+        pool_size=pool, committee_size=committee, seed=seed
+    ).committee_for_epoch(epoch)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    epoch_length=st.integers(min_value=1, max_value=100),
+    index=st.integers(min_value=1, max_value=100_000),
+)
+def test_epoch_boundaries(epoch_length, index):
+    schedule = CommitteeSchedule(
+        pool_size=8, committee_size=4, epoch_length=epoch_length
+    )
+    epoch = schedule.epoch_of(index)
+    # index 1 is epoch 0; boundaries land every epoch_length indexes
+    assert epoch == (index - 1) // epoch_length
+    assert schedule.committee_for_index(index) == schedule.committee_for_epoch(epoch)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_long_run_fairness(seed):
+    """Over many epochs every candidate serves a similar number of terms
+    (uniform random selection)."""
+    schedule = CommitteeSchedule(pool_size=8, committee_size=4, seed=seed)
+    terms = {i: 0 for i in range(8)}
+    epochs = 200
+    for epoch in range(epochs):
+        for member in schedule.committee_for_epoch(epoch):
+            terms[member] += 1
+    expected = epochs * 4 / 8
+    for candidate, count in terms.items():
+        assert 0.5 * expected <= count <= 1.5 * expected, (candidate, count)

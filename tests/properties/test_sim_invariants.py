@@ -1,0 +1,63 @@
+"""Congestion-simulator invariants under hypothesis-generated traces."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.chains import SRBB, ChainModel
+from repro.sim.engine import simulate_chain
+from repro.workloads.trace import Trace
+
+TOY = ChainModel(
+    name="toy", n=4, tx_gossip=False, pool_partitioned=True,
+    mempool_capacity=5_000, block_interval=1.0, block_txs=300,
+    proposers_per_round=1, consensus_latency=1.0, exec_rate=5_000.0,
+)
+
+counts = st.lists(st.integers(min_value=0, max_value=2_000), min_size=5, max_size=60)
+
+
+@settings(max_examples=40, deadline=None)
+@given(counts)
+def test_transaction_conservation(count_list):
+    """sent == committed + dropped + unfinished for any trace."""
+    trace = Trace(name="h", counts_per_second=np.array(count_list, dtype=np.int64))
+    result = simulate_chain(TOY, trace, grace_s=20)
+    total = (result.committed + result.dropped_pool
+             + result.dropped_validation + result.unfinished)
+    assert abs(total - result.sent) <= 2  # float cohort rounding
+
+
+@settings(max_examples=30, deadline=None)
+@given(counts)
+def test_commit_rate_bounded(count_list):
+    trace = Trace(name="h", counts_per_second=np.array(count_list, dtype=np.int64))
+    result = simulate_chain(TOY, trace, grace_s=20)
+    assert 0.0 <= result.commit_rate <= 1.0 + 1e-9
+    assert result.avg_latency_s >= 0.0
+    assert result.p99_latency_s >= result.avg_latency_s or result.committed == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=10, max_value=400))
+def test_doubling_load_never_raises_commit_rate(base_rate):
+    """More offered load can only hold or hurt the commit fraction."""
+    from repro.workloads import constant_trace
+
+    light = simulate_chain(TOY, constant_trace(base_rate, 30), grace_s=20)
+    heavy = simulate_chain(TOY, constant_trace(base_rate * 4, 30), grace_s=20)
+    assert heavy.commit_rate <= light.commit_rate + 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=50, max_value=500))
+def test_srbb_dominates_toy_leader_variant(rate):
+    """A superblock variant of the same chain commits at least as much as
+    its single-leader twin at any constant load."""
+    from repro.workloads import constant_trace
+
+    single = TOY
+    superblock = TOY.with_(name="toy-sb", proposers_per_round=4)
+    trace = constant_trace(rate * 4, 30)
+    s = simulate_chain(superblock, trace, grace_s=20)
+    l = simulate_chain(single, trace, grace_s=20)
+    assert s.commit_rate >= l.commit_rate - 1e-6

@@ -1,0 +1,48 @@
+"""Cross-fidelity calibration: engine round times vs the tick model."""
+
+import pytest
+
+from repro.sim.calibration import (
+    calibration_table,
+    measure_round_time,
+    model_consistency,
+)
+from repro.sim.chains import SRBB
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    return calibration_table(sizes=(4, 7), rounds=6)
+
+
+class TestRoundTimes:
+    def test_rounds_complete(self, measurements):
+        for m in measurements:
+            assert m.rounds >= 5
+            assert m.mean_round_s > 0
+
+    def test_wan_round_time_in_rtt_regime(self, measurements):
+        """Cross-region consensus costs a few max-RTTs (~0.2-1 s), not
+        milliseconds and not tens of seconds."""
+        for m in measurements:
+            assert 0.1 <= m.mean_round_s <= 2.0, m
+
+    def test_roughly_flat_in_committee_size(self, measurements):
+        """Leaderless all-to-all rounds: O(1) communication depth."""
+        means = [m.mean_round_s for m in measurements]
+        assert max(means) <= 3.0 * min(means)
+
+    def test_model_constant_consistent(self, measurements):
+        assert model_consistency(
+            measurements, model_round_s=SRBB.block_interval
+        )
+
+
+def test_single_region_faster_than_wan():
+    from repro.net.topology import single_region_topology
+
+    wan = measure_round_time(4, rounds=5)
+    lan = measure_round_time(
+        4, topology=single_region_topology(4), rounds=5
+    )
+    assert lan.mean_round_s < wan.mean_round_s

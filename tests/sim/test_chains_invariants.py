@@ -1,0 +1,60 @@
+"""Chain-model invariants: the architectural facts the models encode."""
+
+import pytest
+
+from repro.sim.chains import CHAIN_MODELS, FIGURE_ORDER, SRBB, EVM_DBFT
+
+
+class TestModelFacts:
+    def test_figure_order_covers_all_models(self):
+        assert set(FIGURE_ORDER) == set(CHAIN_MODELS)
+
+    def test_only_srbb_skips_tx_gossip(self):
+        for name, model in CHAIN_MODELS.items():
+            assert model.tx_gossip == (name != "srbb"), name
+
+    def test_only_srbb_partitions_pools(self):
+        for name, model in CHAIN_MODELS.items():
+            assert model.pool_partitioned == (name == "srbb"), name
+
+    def test_srbb_and_baseline_share_consensus_cadence(self):
+        """EVM+DBFT differs from SRBB only in the TVPR-related structure —
+        §V-A's controlled comparison."""
+        assert SRBB.block_interval == EVM_DBFT.block_interval
+        assert SRBB.consensus_latency == EVM_DBFT.consensus_latency
+        assert SRBB.proposers_per_round == EVM_DBFT.proposers_per_round
+        assert SRBB.exec_rate == EVM_DBFT.exec_rate
+
+    def test_superblock_only_for_dbft_family(self):
+        for name, model in CHAIN_MODELS.items():
+            if name in ("srbb", "evm+dbft"):
+                assert model.proposers_per_round == 200
+            else:
+                assert model.proposers_per_round == 1, name
+
+    def test_gossip_chains_admission_below_commit_path(self):
+        """§III-A quantified: the redundant validation/propagation stage
+        throttles before the consensus pipeline for every gossiping chain
+        except Ethereum (whose 15 s blocks are slower still)."""
+        for name, model in CHAIN_MODELS.items():
+            if name in ("srbb", "ethereum"):
+                continue
+            assert model.validation_rate() < model.commit_rate(), name
+
+    def test_srbb_admission_scales_with_committee(self):
+        assert SRBB.validation_rate() == pytest.approx(
+            SRBB.eager_rate * SRBB.n
+        )
+        assert SRBB.validation_rate() > 1000 * EVM_DBFT.validation_rate()
+
+    def test_all_models_have_200_validators(self):
+        for name, model in CHAIN_MODELS.items():
+            assert model.n == 200, name
+
+    def test_commit_rate_formula(self):
+        for model in CHAIN_MODELS.values():
+            expected = min(
+                model.block_txs * model.proposers_per_round / model.block_interval,
+                model.exec_rate,
+            )
+            assert model.commit_rate() == pytest.approx(expected)

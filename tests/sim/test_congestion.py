@@ -1,0 +1,145 @@
+"""Congestion simulator: queueing behaviour and the paper's orderings."""
+
+import numpy as np
+import pytest
+
+from repro.sim.chains import CHAIN_MODELS, EVM_DBFT, SRBB, ChainModel, chain_model
+from repro.sim.engine import CongestionSim, simulate_chain, _CohortQueue
+from repro.workloads import burst_trace, constant_trace, fifa_trace, uber_trace
+
+
+class TestCohortQueue:
+    def test_push_pop_fifo(self):
+        q = _CohortQueue()
+        q.push(0.0, 5)
+        q.push(1.0, 5)
+        popped = q.pop(7)
+        assert popped == [(0.0, 5.0), (1.0, 2.0)]
+        assert q.size == 3
+
+    def test_pop_empty(self):
+        q = _CohortQueue()
+        assert q.pop(10) == []
+
+    def test_drop_newest(self):
+        q = _CohortQueue()
+        q.push(0.0, 5)
+        q.push(1.0, 5)
+        dropped = q.drop_newest(7)
+        assert dropped == 7
+        assert q.size == 3
+        # survivors are the oldest
+        assert q.pop(10) == [(0.0, 3.0)]
+
+    def test_zero_push_ignored(self):
+        q = _CohortQueue()
+        q.push(0.0, 0)
+        assert q.size == 0
+
+
+class TestChainModels:
+    def test_registry_complete(self):
+        assert set(CHAIN_MODELS) == {
+            "srbb", "evm+dbft", "algorand", "avalanche", "diem",
+            "ethereum", "quorum", "solana",
+        }
+
+    def test_lookup_error_lists_options(self):
+        with pytest.raises(KeyError, match="srbb"):
+            chain_model("bitcoin")
+
+    def test_srbb_validation_scales_with_n(self):
+        assert SRBB.validation_rate() == SRBB.eager_rate * SRBB.n
+
+    def test_gossip_validation_pays_handling(self):
+        assert EVM_DBFT.validation_rate() < EVM_DBFT.eager_rate
+        # dominated by redundancy × handling overhead
+        expected = 1.0 / (
+            1.0 / EVM_DBFT.eager_rate
+            + EVM_DBFT.gossip_redundancy * EVM_DBFT.handling_overhead_s
+        )
+        assert EVM_DBFT.validation_rate() == pytest.approx(expected)
+
+    def test_pool_capacity_partitioning(self):
+        assert SRBB.pool_capacity_total() == SRBB.mempool_capacity * SRBB.n
+        assert EVM_DBFT.pool_capacity_total() == EVM_DBFT.mempool_capacity
+
+    def test_with_override(self):
+        assert SRBB.with_(n=10).n == 10
+        assert SRBB.n == 200  # immutable original
+
+
+class TestQueueDynamics:
+    def test_light_load_commits_everything(self):
+        result = simulate_chain(SRBB, constant_trace(100, 30), grace_s=60)
+        assert result.commit_rate == 1.0
+        assert result.avg_latency_s < 5.0
+
+    def test_overload_loses_transactions(self):
+        model = ChainModel(name="tiny", mempool_capacity=100,
+                           block_txs=10, block_interval=1.0, exec_rate=10.0)
+        result = simulate_chain(model, constant_trace(1000, 30), grace_s=30)
+        assert result.commit_rate < 0.5
+        assert result.dropped_pool + result.dropped_validation + result.unfinished > 0
+
+    def test_latency_grows_with_backlog(self):
+        light = simulate_chain(SRBB, constant_trace(100, 60), grace_s=120)
+        heavy = simulate_chain(SRBB, constant_trace(4000, 60), grace_s=120)
+        assert heavy.avg_latency_s > light.avg_latency_s
+
+    def test_burst_recovery(self):
+        """A one-second burst above capacity queues but drains (the NASDAQ
+        pattern): everything commits, at elevated latency."""
+        trace = burst_trace(50, 5000, 30, burst_at=5)
+        result = simulate_chain(SRBB, trace, grace_s=120)
+        assert result.commit_rate == 1.0
+        assert result.p99_latency_s > result.avg_latency_s
+
+    def test_accounting_conserves_transactions(self):
+        for chain in ("srbb", "ethereum", "solana"):
+            result = simulate_chain(CHAIN_MODELS[chain], constant_trace(500, 20),
+                                    grace_s=30)
+            total = (result.committed + result.dropped_pool
+                     + result.dropped_validation + result.unfinished)
+            assert total == pytest.approx(result.sent, abs=2)
+
+    def test_series_shapes(self):
+        result = simulate_chain(SRBB, constant_trace(100, 10), grace_s=10)
+        assert len(result.pool_series) > 0
+        assert result.commit_series.sum() == pytest.approx(result.committed, abs=1)
+
+
+class TestPaperOrderings:
+    """The qualitative Figure 2/3 claims, asserted."""
+
+    def test_srbb_beats_every_chain_on_uber(self):
+        trace = uber_trace()
+        srbb = simulate_chain(SRBB, trace)
+        for name, model in CHAIN_MODELS.items():
+            if name == "srbb":
+                continue
+            other = simulate_chain(model, trace)
+            assert srbb.throughput_tps > other.throughput_tps, name
+            assert srbb.avg_latency_s < other.avg_latency_s, name
+
+    def test_only_srbb_commits_all_of_uber(self):
+        trace = uber_trace()
+        for name, model in CHAIN_MODELS.items():
+            result = simulate_chain(model, trace)
+            if name == "srbb":
+                assert result.commit_rate == 1.0
+            else:
+                assert result.commit_rate < 1.0, name
+
+    def test_srbb_commits_at_least_98pct_of_fifa(self):
+        result = simulate_chain(SRBB, fifa_trace())
+        assert result.commit_rate >= 0.97
+
+    def test_tvpr_headline_ratio_order_of_magnitude(self):
+        """§V-A: ×55 throughput, ÷3.5 latency vs EVM+DBFT (we assert the
+        right ballpark: ≥ 20× and ≥ 2× respectively)."""
+        trace = fifa_trace()
+        srbb = simulate_chain(SRBB, trace)
+        base = simulate_chain(EVM_DBFT, trace)
+        assert srbb.throughput_tps / base.throughput_tps > 20
+        assert base.avg_latency_s / srbb.avg_latency_s > 2

@@ -1,0 +1,50 @@
+"""Sweep utilities: saturation bisection, curves, crossovers."""
+
+import pytest
+
+from repro.sim.chains import ChainModel, EVM_DBFT, SRBB
+from repro.sim.sweep import (
+    crossover_rate,
+    latency_curve,
+    loss_curve,
+    saturation_throughput,
+)
+
+#: cheap toy model so bisection runs fast in unit tests
+TOY = ChainModel(
+    name="toy", n=4, tx_gossip=False, pool_partitioned=True,
+    mempool_capacity=100_000, block_interval=1.0, block_txs=500,
+    proposers_per_round=1, consensus_latency=1.0, exec_rate=10_000.0,
+)
+
+
+class TestSaturation:
+    def test_saturation_near_round_capacity(self):
+        rate = saturation_throughput(TOY, duration_s=30, hi=2_000, tolerance=25)
+        # commit ceiling is 500 tx / 1 s round (+ the 2 s drain window)
+        assert 400 <= rate <= 600
+
+    def test_srbb_sustains_more_than_baseline(self):
+        srbb = saturation_throughput(SRBB, duration_s=30, hi=4_000, tolerance=100)
+        base = saturation_throughput(EVM_DBFT, duration_s=30, hi=4_000, tolerance=100)
+        assert srbb > 10 * base
+
+
+class TestCurves:
+    def test_latency_monotone_under_load(self):
+        points = latency_curve(TOY, [100, 300, 450], duration_s=30)
+        latencies = [p.avg_latency_s for p in points]
+        assert latencies[0] <= latencies[-1]
+
+    def test_loss_curve_onset(self):
+        pairs = loss_curve(TOY, [100, 2_000], duration_s=30)
+        assert pairs[0][1] == pytest.approx(1.0)
+        assert pairs[1][1] < 1.0
+
+    def test_crossover_detects_divergence(self):
+        rate = crossover_rate(SRBB, EVM_DBFT, rates=[10, 100, 1_000], duration_s=30)
+        assert rate is not None
+        assert rate <= 1_000
+
+    def test_crossover_none_for_identical(self):
+        assert crossover_rate(TOY, TOY, rates=[100], duration_s=10) is None

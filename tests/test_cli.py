@@ -1,0 +1,54 @@
+"""CLI smoke tests (fast subcommands only; heavy ones covered by benches)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_chain_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "bitcoin", "uber"])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("figure2", "figure3", "table1", "headline", "fig1",
+                        "simulate", "saturate", "traces"):
+            args = {a.dest for a in parser._subparsers._actions if a.dest == "command"}
+            assert args  # subparsers exist
+        # parseable examples
+        parser.parse_args(["simulate", "srbb", "fifa", "--scale", "0.5"])
+        parser.parse_args(["table1", "--scale", "0.1"])
+
+
+class TestExecution:
+    def test_traces(self, capsys):
+        assert main(["traces"]) == 0
+        out = capsys.readouterr().out
+        assert "nasdaq" in out and "burstiness" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "srbb", "uber", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput_tps" in out
+
+    def test_fig1_small(self, capsys):
+        assert main(["fig1", "--n", "4", "--txs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "tvpr" in out and "modern" in out
+
+    def test_watch(self, capsys):
+        assert main(["watch", "srbb", "uber", "--scale", "0.2", "--width", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "commits/s" in out and "pool" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "--skip-table1", "-o", str(target)]) == 0
+        text = target.read_text()
+        assert "# SRBB reproduction" in text
+        assert "## Table I" not in text

@@ -1,0 +1,126 @@
+"""Conflict analysis: access sets, conflict graph, parallel scheduling."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.transaction import make_invoke, make_transfer
+from repro.crypto.keys import generate_keypair
+from repro.vm.conflicts import (
+    access_set,
+    analyze_block,
+    blocks_are_conflict_serialized,
+    conflict_graph,
+)
+from repro.vm.executor import native_address_for
+
+KPS = [generate_keypair(600 + i) for i in range(6)]
+EXCHANGE = native_address_for("exchange")
+
+
+def transfer(i, j, nonce=0):
+    return make_transfer(KPS[i], KPS[j].address, 1, nonce=nonce)
+
+
+def trade(i, symbol, nonce=0):
+    return make_invoke(KPS[i], EXCHANGE, "trade", (symbol, 100, 1, "buy"), nonce=nonce)
+
+
+class TestAccessSets:
+    def test_transfer_touches_both_accounts(self):
+        acc = access_set(transfer(0, 1))
+        assert f"acct:{KPS[0].address}" in acc.writes  # sender debits (r/w)
+        assert f"acct:{KPS[1].address}" in acc.commutes  # receiver credit
+
+    def test_same_sender_conflicts(self):
+        a = access_set(transfer(0, 1))
+        b = access_set(transfer(0, 2))
+        assert a.conflicts_with(b)
+
+    def test_disjoint_transfers_do_not_conflict(self):
+        a = access_set(transfer(0, 1))
+        b = access_set(transfer(2, 3))
+        assert not a.conflicts_with(b)
+
+    def test_shared_receiver_commutes(self):
+        """Two credits to the same receiver are commutative deltas — no
+        conflict (Block-STM-style), unlike a write/read overlap."""
+        a = access_set(transfer(0, 2))
+        b = access_set(transfer(1, 2))
+        assert not a.conflicts_with(b)
+
+    def test_credit_vs_spend_conflicts(self):
+        """A credit to an account conflicts with that account SPENDING
+        (the spender reads and writes its own balance)."""
+        credit = access_set(transfer(0, 2))
+        spend = access_set(transfer(2, 3))
+        assert credit.conflicts_with(spend)
+
+    def test_same_symbol_trades_conflict(self):
+        assert access_set(trade(0, "AAPL")).conflicts_with(access_set(trade(1, "AAPL")))
+
+    def test_different_symbol_trades_do_not_conflict(self):
+        assert not access_set(trade(0, "AAPL")).conflicts_with(
+            access_set(trade(1, "GOOG"))
+        )
+
+    def test_readonly_call_vs_writer_conflicts(self):
+        reader = make_invoke(KPS[0], EXCHANGE, "last_price", ("AAPL",), nonce=0)
+        writer = trade(1, "AAPL")
+        assert access_set(reader).conflicts_with(access_set(writer))
+
+    def test_two_readers_do_not_conflict(self):
+        r1 = make_invoke(KPS[0], EXCHANGE, "last_price", ("AAPL",), nonce=0)
+        r2 = make_invoke(KPS[1], EXCHANGE, "volume", ("AAPL",), nonce=0)
+        assert not access_set(r1).conflicts_with(access_set(r2))
+
+
+class TestAnalysis:
+    def test_conflict_graph_edges(self):
+        txs = [transfer(0, 1), transfer(0, 2), transfer(3, 4)]
+        graph = conflict_graph(txs)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 2)
+        assert not graph.has_edge(1, 2)
+
+    def test_independent_txs_one_group(self):
+        report = analyze_block([transfer(0, 1), transfer(2, 3), transfer(4, 5)])
+        assert report.parallel_depth == 1
+        assert report.speedup == 3.0
+        assert report.conflict_count == 0
+
+    def test_fully_serial_chain(self):
+        txs = [transfer(0, 1, nonce=i) for i in range(4)]
+        report = analyze_block(txs)
+        assert report.parallel_depth == 4
+        assert report.speedup == 1.0
+
+    def test_schedule_respects_order(self):
+        """A tx lands in a group strictly after conflicting predecessors."""
+        txs = [transfer(0, 1), transfer(2, 3), transfer(1, 2)]
+        report = analyze_block(txs)
+        group_of = {i: g for g, members in enumerate(report.groups) for i in members}
+        assert group_of[2] > group_of[0]
+        assert group_of[2] > group_of[1]
+
+    def test_empty_block(self):
+        report = analyze_block([])
+        assert report.tx_count == 0
+        assert report.speedup == 1.0
+
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=5),
+    ), max_size=15))
+    def test_property_schedule_covers_all(self, pairs):
+        txs = [transfer(a, b if b != a else (a + 1) % 6) for a, b in pairs]
+        assert blocks_are_conflict_serialized(txs)
+
+    @given(st.lists(st.sampled_from(["AAPL", "GOOG", "MSFT"]), min_size=1, max_size=12))
+    def test_property_groups_internally_conflict_free(self, symbols):
+        txs = [trade(i % 6, sym, nonce=i // 6) for i, sym in enumerate(symbols)]
+        report = analyze_block(txs)
+        graph = conflict_graph(txs)
+        for group in report.groups:
+            for a in group:
+                for b in group:
+                    if a != b:
+                        assert not graph.has_edge(a, b)

@@ -1,0 +1,35 @@
+"""Gas schedule units."""
+
+from repro.vm.gas import G_CREATE, G_TX, G_TXDATA_BYTE, GAS_TABLE, intrinsic_gas
+from repro.vm.opcodes import Op
+
+
+class TestIntrinsicGas:
+    def test_bare_transaction(self):
+        assert intrinsic_gas(0) == G_TX == 21_000
+
+    def test_per_byte(self):
+        assert intrinsic_gas(100) == G_TX + 100 * G_TXDATA_BYTE
+
+    def test_create_surcharge(self):
+        assert intrinsic_gas(0, is_create=True) == G_TX + G_CREATE
+
+
+class TestGasTable:
+    def test_covers_every_opcode(self):
+        assert set(GAS_TABLE) == set(Op)
+
+    def test_cost_ordering(self):
+        """EVM-like relative ordering: storage writes ≫ reads ≫ arithmetic
+        ≫ stack ops; halting is free."""
+        assert GAS_TABLE[Op.SSTORE] > GAS_TABLE[Op.SLOAD]
+        assert GAS_TABLE[Op.SLOAD] > GAS_TABLE[Op.SHA3]
+        assert GAS_TABLE[Op.SHA3] > GAS_TABLE[Op.ADD]
+        assert GAS_TABLE[Op.STOP] == 0
+        assert GAS_TABLE[Op.RETURN] == 0
+
+    def test_all_costs_non_negative(self):
+        assert all(cost >= 0 for cost in GAS_TABLE.values())
+
+    def test_transfer_is_expensive(self):
+        assert GAS_TABLE[Op.TRANSFER] >= 9_000

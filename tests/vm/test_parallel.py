@@ -1,0 +1,95 @@
+"""Parallel executor: equivalence with serial, timing model."""
+
+import pytest
+
+from repro.core.transaction import make_invoke, make_transfer
+from repro.crypto.keys import generate_keypair
+from repro.vm.executor import Executor, install_native, native_address_for
+from repro.vm.parallel import execute_parallel, parallel_commit_time_s
+from repro.vm.state import WorldState
+
+KPS = [generate_keypair(9500 + i) for i in range(8)]
+
+
+@pytest.fixture
+def executor(registry):
+    state = WorldState()
+    for kp in KPS:
+        state.create_account(kp.address, 10**12)
+    install_native(state, "exchange")
+    state.commit()
+    return Executor(state, registry=registry)
+
+
+def disjoint_transfers(count):
+    return [
+        make_transfer(KPS[i % 8], f"{i:040x}", 1, nonce=i // 8)
+        for i in range(count)
+    ]
+
+
+class TestEquivalence:
+    def test_same_state_as_serial(self, executor, registry):
+        txs = disjoint_transfers(8) + [
+            make_invoke(KPS[0], native_address_for("exchange"), "trade",
+                        ("AAPL", 100, 5, "buy"), nonce=1)
+        ]
+        parallel_result = execute_parallel(executor, txs, workers=4)
+        root_parallel = executor.state.state_root()
+
+        serial_exec = Executor(_fresh_state(), registry=registry)
+        for tx in txs:
+            serial_exec.execute(tx)
+        assert serial_exec.state.state_root() == root_parallel
+        assert all(r.success for r in parallel_result.receipts)
+
+    def test_groups_ordered(self, executor):
+        # same-sender chain forces sequential groups
+        kp = KPS[0]
+        txs = [make_transfer(kp, "aa" * 20, 1, nonce=i) for i in range(4)]
+        result = execute_parallel(executor, txs, workers=8)
+        assert result.groups == 4
+        assert all(r.success for r in result.receipts)
+
+
+def _fresh_state():
+    state = WorldState()
+    for kp in KPS:
+        state.create_account(kp.address, 10**12)
+    install_native(state, "exchange")
+    state.commit()
+    return state
+
+
+class TestTiming:
+    def test_disjoint_batch_speedup(self, executor):
+        txs = disjoint_transfers(8)  # 8 senders, one group
+        result = execute_parallel(executor, txs, workers=8, exec_rate=1000.0)
+        assert result.groups == 1
+        assert result.parallel_time_s == pytest.approx(1 / 1000.0)
+        assert result.speedup == pytest.approx(8.0)
+
+    def test_serial_chain_no_speedup(self, executor):
+        kp = KPS[0]
+        txs = [make_transfer(kp, "aa" * 20, 1, nonce=i) for i in range(5)]
+        result = execute_parallel(executor, txs, workers=8, exec_rate=1000.0)
+        assert result.speedup == pytest.approx(1.0)
+
+    def test_worker_count_bounds_speedup(self, executor):
+        txs = disjoint_transfers(16)
+        two = execute_parallel(_exec_copy(), txs, workers=2, exec_rate=1000.0)
+        assert two.speedup == pytest.approx(2.0)
+
+    def test_timing_only_estimate_matches(self):
+        txs = disjoint_transfers(8)
+        assert parallel_commit_time_s(txs, workers=8, exec_rate=1000.0) == (
+            pytest.approx(1 / 1000.0)
+        )
+
+    def test_invalid_workers(self, executor):
+        with pytest.raises(ValueError):
+            execute_parallel(executor, [], workers=0)
+
+
+def _exec_copy():
+    return Executor(_fresh_state())

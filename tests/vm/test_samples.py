@@ -1,0 +1,115 @@
+"""Sample bytecode contracts, end to end through the executor."""
+
+import pytest
+
+from repro.core.transaction import make_deploy, make_invoke
+from repro.errors import VMRevert
+from repro.vm.samples import (
+    adder_contract,
+    bank_contract,
+    counter_contract,
+    gated_store_contract,
+    summation_contract,
+)
+
+
+def deploy_and_get(executor, keypair, code, nonce=0):
+    receipt = executor.execute(make_deploy(keypair, code, nonce=nonce))
+    assert receipt.success, receipt.error
+    return receipt.contract_address
+
+
+class TestCounter:
+    def test_accumulates_across_calls(self, executor, keypair):
+        address = deploy_and_get(executor, keypair, counter_contract())
+        r1 = executor.execute(make_invoke(keypair, address, "", (5,), nonce=1))
+        assert r1.success and r1.return_value == 5
+        r2 = executor.execute(make_invoke(keypair, address, "", (7,), nonce=2))
+        assert r2.return_value == 12
+        assert executor.state.storage_get(address, "0") == 12
+
+
+class TestAdder:
+    def test_adds_calldata(self, executor, keypair):
+        address = deploy_and_get(executor, keypair, adder_contract())
+        receipt = executor.execute(
+            make_invoke(keypair, address, "", (19, 23), nonce=1)
+        )
+        assert receipt.return_value == 42
+
+
+class TestGatedStore:
+    def test_correct_password_stores(self, executor, keypair):
+        address = deploy_and_get(executor, keypair, gated_store_contract(1234))
+        receipt = executor.execute(
+            make_invoke(keypair, address, "", (1234, 777), nonce=1)
+        )
+        assert receipt.success
+        assert executor.state.storage_get(address, "1") == 777
+
+    def test_wrong_password_reverts_cleanly(self, executor, keypair):
+        address = deploy_and_get(executor, keypair, gated_store_contract(1234))
+        receipt = executor.execute(
+            make_invoke(keypair, address, "", (9999, 777), nonce=1)
+        )
+        assert not receipt.success
+        assert receipt.error == "revert"
+        assert executor.state.storage_get(address, "1") is None
+
+
+class TestSummation:
+    @pytest.mark.parametrize("n,expected", [(0, 0), (1, 1), (5, 15), (20, 210)])
+    def test_sums_one_to_n(self, executor, keypair, n, expected):
+        address = deploy_and_get(executor, keypair, summation_contract())
+        receipt = executor.execute(
+            make_invoke(keypair, address, "", (n,), nonce=1, gas_limit=500_000)
+        )
+        assert receipt.success, receipt.error
+        assert receipt.return_value == expected
+
+    def test_gas_grows_with_input(self, executor, keypair):
+        address = deploy_and_get(executor, keypair, summation_contract())
+        small = executor.execute(
+            make_invoke(keypair, address, "", (2,), nonce=1, gas_limit=500_000)
+        )
+        big = executor.execute(
+            make_invoke(keypair, address, "", (50,), nonce=2, gas_limit=500_000)
+        )
+        assert big.gas_used > small.gas_used
+
+    def test_runs_out_of_gas_on_huge_input(self, executor, keypair):
+        address = deploy_and_get(executor, keypair, summation_contract())
+        receipt = executor.execute(
+            make_invoke(keypair, address, "", (10_000,), nonce=1, gas_limit=30_000)
+        )
+        assert not receipt.success
+        assert receipt.error == "out-of-gas"
+
+
+class TestBank:
+    def test_pays_out_held_value(self, executor, keypair, keypair2):
+        address = deploy_and_get(executor, keypair, bank_contract())
+        # fund the bank
+        executor.state.add_balance(address, 10_000)
+        executor.state.commit()
+        recipient_word = int(keypair2.address, 16)
+        before = executor.state.balance_of(keypair2.address)
+        receipt = executor.execute(
+            make_invoke(keypair, address, "", (recipient_word, 900), nonce=1)
+        )
+        assert receipt.success, receipt.error
+        assert executor.state.balance_of(keypair2.address) == before + 900
+        assert executor.state.balance_of(address) == 9_100
+
+    def test_overdraft_reverts_without_side_effects(self, executor, keypair, keypair2):
+        address = deploy_and_get(executor, keypair, bank_contract())
+        executor.state.add_balance(address, 10)
+        executor.state.commit()
+        recipient_word = int(keypair2.address, 16)
+        before = executor.state.balance_of(keypair2.address)
+        receipt = executor.execute(
+            make_invoke(keypair, address, "", (recipient_word, 900), nonce=1)
+        )
+        assert not receipt.success
+        assert executor.state.balance_of(keypair2.address) == before
+        assert executor.state.balance_of(address) == 10

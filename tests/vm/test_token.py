@@ -1,0 +1,85 @@
+"""Token contract: supply conservation, allowances, access control."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import VMRevert
+from repro.vm.contracts.token import TokenContract
+from repro.vm.state import WorldState
+
+GAS = 10_000_000
+TOKEN = "cc" * 20
+OWNER = "11" * 20
+ALICE = "22" * 20
+BOB = "33" * 20
+
+
+def call(state, caller, fn, *args):
+    result, _ = TokenContract().call(state, TOKEN, caller, fn, args, 0, GAS)
+    return result
+
+
+@pytest.fixture
+def state():
+    ws = WorldState()
+    ws.get_or_create(TOKEN)
+    call(ws, OWNER, "init", "SRB", 1_000)
+    return ws
+
+
+class TestLifecycle:
+    def test_init_assigns_supply_to_owner(self, state):
+        assert call(state, OWNER, "balance_of", OWNER) == 1_000
+        assert call(state, OWNER, "total_supply") == 1_000
+
+    def test_double_init_reverts(self, state):
+        with pytest.raises(VMRevert):
+            call(state, ALICE, "init", "X", 5)
+
+    def test_mint_owner_only(self, state):
+        call(state, OWNER, "mint", ALICE, 500)
+        assert call(state, OWNER, "balance_of", ALICE) == 500
+        assert call(state, OWNER, "total_supply") == 1_500
+        with pytest.raises(VMRevert):
+            call(state, ALICE, "mint", ALICE, 500)
+
+
+class TestTransfers:
+    def test_transfer(self, state):
+        call(state, OWNER, "transfer", ALICE, 300)
+        assert call(state, OWNER, "balance_of", OWNER) == 700
+        assert call(state, OWNER, "balance_of", ALICE) == 300
+
+    def test_overdraft_reverts(self, state):
+        with pytest.raises(VMRevert):
+            call(state, ALICE, "transfer", BOB, 1)
+
+    def test_nonpositive_reverts(self, state):
+        with pytest.raises(VMRevert):
+            call(state, OWNER, "transfer", ALICE, 0)
+
+    def test_allowance_flow(self, state):
+        call(state, OWNER, "approve", ALICE, 200)
+        assert call(state, OWNER, "allowance", OWNER, ALICE) == 200
+        call(state, ALICE, "transfer_from", OWNER, BOB, 150)
+        assert call(state, OWNER, "balance_of", BOB) == 150
+        assert call(state, OWNER, "allowance", OWNER, ALICE) == 50
+        with pytest.raises(VMRevert):
+            call(state, ALICE, "transfer_from", OWNER, BOB, 100)
+
+    @given(st.lists(st.tuples(
+        st.sampled_from([OWNER, ALICE, BOB]),
+        st.sampled_from([OWNER, ALICE, BOB]),
+        st.integers(min_value=1, max_value=400),
+    ), max_size=20))
+    def test_property_supply_conserved(self, transfers):
+        ws = WorldState()
+        ws.get_or_create(TOKEN)
+        call(ws, OWNER, "init", "SRB", 1_000)
+        for frm, to, amount in transfers:
+            try:
+                call(ws, frm, "transfer", to, amount)
+            except VMRevert:
+                pass
+        total = sum(call(ws, OWNER, "balance_of", who) for who in (OWNER, ALICE, BOB))
+        assert total == 1_000

@@ -1,0 +1,97 @@
+"""Trace composition utilities."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import constant_trace
+from repro.workloads.composite import concat, overlay, pad, shift, window
+
+
+class TestConcat:
+    def test_durations_add(self):
+        t = concat(constant_trace(5, 3), constant_trace(7, 2))
+        assert t.duration_s == 5
+        assert t.total == 15 + 14
+
+    def test_order_preserved(self):
+        t = concat(constant_trace(1, 2), constant_trace(9, 2))
+        assert list(t.counts_per_second) == [1, 1, 9, 9]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concat()
+
+
+class TestOverlay:
+    def test_sums_counts(self):
+        t = overlay(constant_trace(5, 3), constant_trace(2, 3))
+        assert list(t.counts_per_second) == [7, 7, 7]
+
+    def test_zero_pads_shorter(self):
+        t = overlay(constant_trace(5, 1), constant_trace(2, 3))
+        assert list(t.counts_per_second) == [7, 2, 2]
+
+    def test_burst_on_hum(self):
+        from repro.workloads import burst_trace
+
+        hum = constant_trace(100, 30)
+        spike = shift(burst_trace(0, 5000, 1, burst_at=0), 10)
+        combined = overlay(hum, spike)
+        assert combined.peak_tps == 5100
+        assert combined.counts_per_second[9] == 100
+
+
+class TestShiftPadWindow:
+    def test_shift(self):
+        t = shift(constant_trace(3, 2), 2)
+        assert list(t.counts_per_second) == [0, 0, 3, 3]
+        with pytest.raises(ValueError):
+            shift(constant_trace(1, 1), -1)
+
+    def test_pad(self):
+        t = pad(constant_trace(3, 2), 2)
+        assert list(t.counts_per_second) == [3, 3, 0, 0]
+
+    def test_window(self):
+        t = window(constant_trace(3, 10), 2, 5)
+        assert t.duration_s == 3
+        assert t.total == 9
+        with pytest.raises(ValueError):
+            window(constant_trace(3, 10), 5, 20)
+
+    def test_window_copy_independent(self):
+        base = constant_trace(3, 10)
+        w = window(base, 0, 5)
+        w.counts_per_second[0] = 99  # mutating the copy
+        assert base.counts_per_second[0] == 3
+
+
+class TestFeePriorityBatching:
+    def test_by_fee_orders_by_gas_price(self):
+        from repro.core.txpool import TxPool
+        from repro.core.transaction import make_transfer
+        from repro.crypto.keys import generate_keypair
+
+        pool = TxPool()
+        txs = []
+        for i, price in enumerate([1, 50, 10]):
+            kp = generate_keypair(7100 + i)
+            tx = make_transfer(kp, "aa" * 20, 1, nonce=0, gas_price=price)
+            pool.add(tx)
+            txs.append(tx)
+        batch = pool.take_batch(3, by_fee=True)
+        assert [t.gas_price for t in batch] == [50, 10, 1]
+
+    def test_by_fee_respects_nonce_order(self):
+        from repro.core.txpool import TxPool
+        from repro.core.transaction import make_transfer
+        from repro.crypto.keys import generate_keypair
+
+        kp = generate_keypair(7200)
+        pool = TxPool()
+        low_first = make_transfer(kp, "aa" * 20, 1, nonce=0, gas_price=1)
+        high_second = make_transfer(kp, "aa" * 20, 1, nonce=1, gas_price=99)
+        pool.add(high_second)
+        pool.add(low_first)
+        batch = pool.take_batch(5, by_fee=True, next_nonce=lambda s: 0)
+        assert [t.nonce for t in batch] == [0, 1]

@@ -1,0 +1,56 @@
+"""Trace persistence + statistics."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import constant_trace, nasdaq_trace
+from repro.workloads.replay import (
+    load_trace,
+    save_trace,
+    trace_from_csv,
+    trace_stats,
+    trace_to_csv,
+)
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_preserves_counts_and_name(self):
+        trace = nasdaq_trace()
+        text = trace_to_csv(trace)
+        back = trace_from_csv(text)
+        assert back.name == trace.name
+        assert np.array_equal(back.counts_per_second, trace.counts_per_second)
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = constant_trace(7, 5, name="sevens")
+        path = save_trace(trace, tmp_path / "t.csv")
+        back = load_trace(path)
+        assert back.name == "sevens"
+        assert back.total == 35
+
+    def test_non_contiguous_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            trace_from_csv("second,count\n0,5\n2,5\n")
+
+    def test_name_override(self):
+        trace = constant_trace(1, 2)
+        back = trace_from_csv(trace_to_csv(trace), name="renamed")
+        assert back.name == "renamed"
+
+
+class TestStats:
+    def test_constant_trace_stats(self):
+        stats = trace_stats(constant_trace(100, 10))
+        assert stats.avg_tps == 100
+        assert stats.peak_tps == 100
+        assert stats.burstiness == pytest.approx(1.0)
+        assert stats.cv == pytest.approx(0.0)
+
+    def test_nasdaq_burstiness_over_100(self):
+        stats = trace_stats(nasdaq_trace())
+        assert stats.burstiness > 100  # 19800 / 168
+
+    def test_row_serializable(self):
+        row = trace_stats(constant_trace(10, 3)).as_row()
+        assert row["total"] == 30
+        assert "burstiness" in row
