@@ -164,36 +164,60 @@ def _cmd_traces(args) -> int:
     return 0
 
 
+def _telemetry_parent() -> argparse.ArgumentParser:
+    """Options every subcommand shares (observability wiring)."""
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("observability")
+    group.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="dump telemetry metrics after the run (Prometheus text "
+        "format, or JSON if PATH ends in .json)",
+    )
+    group.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="dump the structured JSONL trace after the run",
+    )
+    group.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log more (-v: info, -vv: debug) on the repro.* loggers",
+    )
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Smart Redbelly Blockchain reproduction — regenerate "
         "the paper's tables and figures",
     )
+    common = _telemetry_parent()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("figure2", help="Fig. 2: throughput + commit %")
+    def add_parser(name, **kwargs):
+        return sub.add_parser(name, parents=[common], **kwargs)
+
+    p = add_parser("figure2", help="Fig. 2: throughput + commit %")
     p.add_argument("--scale", type=float, default=1.0, help="workload rate scale")
     p.set_defaults(fn=_cmd_figure2)
 
-    p = sub.add_parser("figure3", help="Fig. 3: latency")
+    p = add_parser("figure3", help="Fig. 3: latency")
     p.add_argument("--scale", type=float, default=1.0)
     p.set_defaults(fn=_cmd_figure3)
 
-    p = sub.add_parser("table1", help="Table I: RPM under flooding")
+    p = add_parser("table1", help="Table I: RPM under flooding")
     p.add_argument("--scale", type=float, default=1.0,
                    help="scale of the 20K/10K transaction counts")
     p.set_defaults(fn=_cmd_table1)
 
-    p = sub.add_parser("headline", help="§V-A SRBB vs EVM+DBFT ratios")
+    p = add_parser("headline", help="§V-A SRBB vs EVM+DBFT ratios")
     p.set_defaults(fn=_cmd_headline)
 
-    p = sub.add_parser("fig1", help="Fig. 1 as measured validation counts")
+    p = add_parser("fig1", help="Fig. 1 as measured validation counts")
     p.add_argument("--n", type=int, default=8)
     p.add_argument("--txs", type=int, default=16)
     p.set_defaults(fn=_cmd_fig1)
 
-    p = sub.add_parser("simulate", help="one chain × one workload")
+    p = add_parser("simulate", help="one chain × one workload")
     p.add_argument("chain", choices=[
         "srbb", "evm+dbft", "algorand", "avalanche", "diem",
         "ethereum", "quorum", "solana",
@@ -202,7 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=1.0)
     p.set_defaults(fn=_cmd_simulate)
 
-    p = sub.add_parser("saturate", help="max sustainable TPS (bisection)")
+    p = add_parser("saturate", help="max sustainable TPS (bisection)")
     p.add_argument("chain", choices=[
         "srbb", "evm+dbft", "algorand", "avalanche", "diem",
         "ethereum", "quorum", "solana",
@@ -210,10 +234,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=int, default=30)
     p.set_defaults(fn=_cmd_saturate)
 
-    p = sub.add_parser("traces", help="workload envelope statistics")
+    p = add_parser("traces", help="workload envelope statistics")
     p.set_defaults(fn=_cmd_traces)
 
-    p = sub.add_parser(
+    p = add_parser(
         "dapp", help="run a DApp workload on the message-level engine"
     )
     p.add_argument("workload", choices=["nasdaq", "uber", "fifa"])
@@ -224,7 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rpm", action="store_true")
     p.set_defaults(fn=_cmd_dapp)
 
-    p = sub.add_parser("watch", help="sparkline congestion series for one run")
+    p = add_parser("watch", help="sparkline congestion series for one run")
     p.add_argument("chain", choices=[
         "srbb", "evm+dbft", "algorand", "avalanche", "diem",
         "ethereum", "quorum", "solana",
@@ -234,7 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width", type=int, default=60)
     p.set_defaults(fn=_cmd_watch)
 
-    p = sub.add_parser("report", help="regenerate the full markdown report")
+    p = add_parser("report", help="regenerate the full markdown report")
     p.add_argument("--output", "-o", default=None, help="write to a file")
     p.add_argument("--skip-table1", action="store_true",
                    help="skip the (slow) message-level Table I run")
@@ -245,8 +269,44 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    from repro import telemetry
+
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    telemetry.configure_logging(args.verbose)
+    capture = bool(args.metrics_out or args.trace_out)
+    if capture:
+        # Fresh counts per invocation so the dump reconciles with this
+        # run's results even when main() is called repeatedly in-process.
+        registry = telemetry.get_registry()
+        registry.reset()
+        registry.enable()
+        tracer = telemetry.get_tracer()
+        tracer.clear()
+        tracer.enabled = True
+    try:
+        rc = args.fn(args)
+    finally:
+        # A bad output path must not swallow the run's results with a
+        # traceback — report it and fail the exit code instead.
+        for path, write in (
+            (args.metrics_out, lambda p: telemetry.write_metrics(p)),
+            (args.trace_out, lambda p: telemetry.get_tracer().dump(p)),
+        ):
+            if not path:
+                continue
+            try:
+                write(path)
+            except OSError as exc:
+                print(f"repro: cannot write {path}: {exc}", file=sys.stderr)
+                rc = 1
+            else:
+                print(f"telemetry written to {path}", file=sys.stderr)
+        if capture:
+            # Scope the enablement to this invocation: library-style
+            # callers of main() must not keep paying for telemetry.
+            telemetry.disable()
+            telemetry.get_tracer().enabled = False
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -26,9 +26,12 @@ which the property tests acknowledge by bounding rounds generously).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
+from types import SimpleNamespace
 from typing import Callable
 
+from repro import telemetry
 from repro.consensus.messages import ConsensusMessage, MsgKind
 from repro.errors import ConsensusError
 
@@ -37,6 +40,30 @@ GRACE_ROUNDS = 2
 #: Hard cap: a correct run of this protocol decides in a handful of rounds;
 #: hitting the cap indicates a broken schedule and fails loudly.
 MAX_ROUNDS = 64
+
+logger = logging.getLogger("repro.consensus.dbft")
+
+
+def _build_metrics(reg: telemetry.MetricsRegistry) -> SimpleNamespace:
+    decisions = reg.counter(
+        "srbb_consensus_decisions_total", "binary-instance decisions, by value"
+    )
+    return SimpleNamespace(
+        # pre-resolved labeled children: one dict lookup on the hot path
+        decisions={0: decisions.labels(value="0"), 1: decisions.labels(value="1")},
+        rounds=reg.histogram(
+            "srbb_consensus_rounds_to_decision",
+            "BV-broadcast rounds until a binary instance decided",
+            buckets=(1, 2, 3, 4, 6, 8, 12, 16, 24, 32, MAX_ROUNDS),
+        ),
+        coin=reg.counter(
+            "srbb_consensus_coin_fallbacks_total",
+            "rounds resolved by the coin/parity fallback (split AUX values)",
+        ),
+    )
+
+
+_metrics = telemetry.bind(_build_metrics)
 
 
 @dataclass
@@ -181,6 +208,10 @@ class BinaryConsensus:
         if not self._participating():
             return
         if self.round > MAX_ROUNDS:
+            logger.error(
+                "binary consensus exceeded %d rounds (index=%d, instance=%d)",
+                MAX_ROUNDS, self.index, self.instance,
+            )
             raise ConsensusError(
                 f"binary consensus exceeded {MAX_ROUNDS} rounds "
                 f"(index={self.index}, instance={self.instance})"
@@ -249,9 +280,13 @@ class BinaryConsensus:
             if v == coin and self.decided is None:
                 self.decided = v
                 self._decided_round = r
+                m = _metrics()
+                m.rounds.observe(r)
+                m.decisions[v].inc()
                 self._on_decide(self.instance, v)
             self.est = v
         else:
+            _metrics().coin.inc()
             self.est = coin
         self.round = r + 1
         self._start_round()

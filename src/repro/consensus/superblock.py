@@ -22,9 +22,11 @@ proposal — so every block in the superblock is available everywhere.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import logging
+from types import SimpleNamespace
 from typing import Any, Callable
 
+from repro import telemetry
 from repro.consensus.broadcast import ReliableBroadcast
 from repro.consensus.dbft import BinaryConsensus
 from repro.consensus.messages import ConsensusMessage, MsgKind
@@ -32,6 +34,32 @@ from repro.core.block import Block, SuperBlock
 from repro.errors import ConsensusError
 
 _RBC_KINDS = (MsgKind.RBC_SEND, MsgKind.RBC_ECHO, MsgKind.RBC_READY)
+
+logger = logging.getLogger("repro.consensus.superblock")
+
+
+def _build_metrics(reg: telemetry.MetricsRegistry) -> SimpleNamespace:
+    messages = reg.counter(
+        "srbb_consensus_messages_total", "consensus messages received, by kind"
+    )
+    return SimpleNamespace(
+        # pre-resolved labeled children: one dict lookup per message
+        by_kind={kind: messages.labels(kind=kind.name) for kind in MsgKind},
+        superblocks=reg.counter(
+            "srbb_superblocks_decided_total", "superblock rounds decided"
+        ),
+        blocks=reg.histogram(
+            "srbb_superblock_blocks", "decided-1 blocks per superblock",
+            buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128),
+        ),
+        discarded=reg.counter(
+            "srbb_consensus_headers_discarded_total",
+            "RBC-delivered proposals discarded for invalid headers",
+        ),
+    )
+
+
+_metrics = telemetry.bind(_build_metrics)
 
 
 class SuperBlockConsensus:
@@ -109,6 +137,7 @@ class SuperBlockConsensus:
     def on_message(self, msg: ConsensusMessage) -> None:
         if msg.index != self.index:
             return
+        _metrics().by_kind[msg.kind].inc()
         if msg.kind in _RBC_KINDS:
             self.rbc.on_message(msg)
         else:
@@ -149,6 +178,11 @@ class SuperBlockConsensus:
         else:
             # Alg. 1 line 16: discard blocks with invalid headers.
             self.discarded_headers.append(instance_id)
+            _metrics().discarded.inc()
+            logger.warning(
+                "node %d discarding proposal for slot %d of index %d: "
+                "invalid header", self.my_id, instance_id, self.index,
+            )
             self._vote(instance_id, 0)
         self._check_done()
 
@@ -176,5 +210,19 @@ class SuperBlockConsensus:
         self.superblock = SuperBlock(
             index=self.index,
             blocks=tuple(self.proposals[i] for i in accepted),
+        )
+        m = _metrics()
+        m.superblocks.inc()
+        m.blocks.observe(len(accepted))
+        telemetry.event(
+            "consensus.superblock",
+            node=self.my_id,
+            index=self.index,
+            blocks=len(accepted),
+            discarded_headers=len(self.discarded_headers),
+        )
+        logger.debug(
+            "node %d decided superblock %d with %d block(s)",
+            self.my_id, self.index, len(accepted),
         )
         self._on_superblock(self.superblock)

@@ -69,7 +69,7 @@ class LeaderValidatorNode:
         if registry is not None:
             self.blockchain.executor.registry = registry
         self.pool = TxPool(capacity=protocol.txpool_capacity, ttl=protocol.tx_ttl)
-        self.stats = NodeStats()
+        self.stats = NodeStats(node_id)
         self._instances: dict[int, LeaderConsensus] = {}
         self._decided: dict[int, Block] = {}
         self._next_commit = 1

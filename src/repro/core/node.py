@@ -24,10 +24,10 @@ for nonce staleness or duplicates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import logging
 from typing import Callable
 
-from repro import params
+from repro import params, telemetry
 from repro.core.block import Block, SuperBlock, make_block
 from repro.core.blockchain import Blockchain
 from repro.core.receipts import ReceiptStore
@@ -53,22 +53,91 @@ REPORTABLE_ERRORS = frozenset(
 TX_KIND = "tx"
 CONSENSUS_KIND = "consensus"
 
+logger = logging.getLogger("repro.core.node")
 
-@dataclass
+#: NodeStats fields, in declaration order (drives properties + mirrors)
+_STAT_FIELDS = (
+    "eager_validations",
+    "eager_failures",
+    "txs_from_clients",
+    "txs_from_peers",
+    "blocks_proposed",
+    "superblocks_committed",
+    "txs_committed",
+    "txs_discarded",
+    "rpm_attestations",
+    "rpm_reports",
+    "recycled_from_undecided",
+)
+
+#: fields folded into one labeled metric in the global registry
+_MIRROR_OVERRIDES = {
+    "txs_from_clients": ("srbb_node_txs_received_total", {"source": "client"}),
+    "txs_from_peers": ("srbb_node_txs_received_total", {"source": "peer"}),
+}
+
+
+def _mirror_counters(registry: telemetry.MetricsRegistry, node_id: "int | None"):
+    """Global-registry children for one node's stats (aggregated export)."""
+    label = {"node": str(node_id)} if node_id is not None else {}
+    mirrors = {}
+    for name in _STAT_FIELDS:
+        metric_name, extra = _MIRROR_OVERRIDES.get(
+            name, (f"srbb_node_{name}_total", {})
+        )
+        mirrors[name] = registry.counter(
+            metric_name, f"per-validator {name.replace('_', ' ')}"
+        ).labels(**label, **extra)
+    return mirrors
+
+
 class NodeStats:
-    """Per-node counters feeding the congestion analysis."""
+    """Per-node counters feeding the congestion analysis.
 
-    eager_validations: int = 0
-    eager_failures: int = 0
-    txs_from_clients: int = 0
-    txs_from_peers: int = 0
-    blocks_proposed: int = 0
-    superblocks_committed: int = 0
-    txs_committed: int = 0
-    txs_discarded: int = 0
-    rpm_attestations: int = 0
-    rpm_reports: int = 0
-    recycled_from_undecided: int = 0
+    A thin view over :mod:`repro.telemetry` counters: each field is a
+    private always-on :class:`~repro.telemetry.Counter` (exact per-node
+    counts, independent of global telemetry), mirrored into labeled
+    children of the process-global registry so ``--metrics-out`` exports
+    them.  The attribute API is unchanged — ``stats.txs_committed`` reads
+    an ``int`` and ``stats.txs_committed += 1`` still works.
+    """
+
+    __slots__ = ("_local", "_mirrors")
+
+    _fields = _STAT_FIELDS
+
+    def __init__(self, node_id: "int | None" = None):
+        object.__setattr__(
+            self,
+            "_local",
+            {name: telemetry.Counter(f"srbb_node_{name}_total") for name in _STAT_FIELDS},
+        )
+        object.__setattr__(
+            self, "_mirrors", _mirror_counters(telemetry.get_registry(), node_id)
+        )
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            return int(self._local[name].value)
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value: int) -> None:
+        local = self._local.get(name)
+        if local is None:
+            raise AttributeError(f"unknown stat {name!r}")
+        delta = value - local.value
+        if delta < 0:
+            raise ValueError(f"stat {name!r} cannot decrease")
+        local.inc(delta)
+        self._mirrors[name].inc(delta)
+
+    def as_dict(self) -> "dict[str, int]":
+        return {name: int(self._local[name].value) for name in _STAT_FIELDS}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"NodeStats({inner})"
 
 
 class ValidatorNode:
@@ -123,7 +192,7 @@ class ValidatorNode:
             capacity=protocol.txpool_capacity, ttl=protocol.tx_ttl
         )
         self.receipts = ReceiptStore()
-        self.stats = NodeStats()
+        self.stats = NodeStats(node_id)
 
         self._consensus: dict[int, SuperBlockConsensus] = {}
         self._pending_superblocks: dict[int, SuperBlock] = {}
@@ -169,8 +238,13 @@ class ValidatorNode:
         # TVPR this happens exactly once network-wide (client-facing node);
         # without, every node on the gossip path repeats it.
         self.stats.eager_validations += 1
-        if not eager_validate(tx, self.blockchain.state, self.protocol):
+        outcome = eager_validate(tx, self.blockchain.state, self.protocol)
+        if not outcome:
             self.stats.eager_failures += 1
+            logger.debug(
+                "node %d rejected tx %s at eager validation: %s",
+                self.node_id, tx.tx_hash.hex()[:12], outcome.error_code,
+            )
             return False
         if self.blockchain.contains_tx(tx) or tx in self.pool:
             return False
@@ -212,16 +286,28 @@ class ValidatorNode:
         from a non-excluded proposer (Alg. 1 line 16 + Alg. 2 line 42
         listeners excluding slashed validators)."""
         if not block.header_valid():
+            logger.warning(
+                "node %d rejecting block %d/%d: invalid header",
+                self.node_id, block.index, block.proposer_id,
+            )
             return False
         if block.certificate is not None:
             proposer = block.certificate.proposer_address()
             if proposer in self.excluded_validators:
+                logger.warning(
+                    "node %d rejecting block %d/%d: proposer %s is RPM-excluded",
+                    self.node_id, block.index, block.proposer_id, proposer[:12],
+                )
                 return False
         return True
 
     def _round_timeout(self, index: int) -> None:
         consensus = self._consensus.get(index)
         if consensus is not None and not consensus.finished:
+            logger.debug(
+                "node %d: round %d timed out, voting 0 on silent proposers",
+                self.node_id, index,
+            )
             consensus.timeout_silent_proposers()
 
     # -- consensus plumbing ----------------------------------------------------------------
@@ -288,6 +374,19 @@ class ValidatorNode:
         self.stats.superblocks_committed += 1
         self.stats.txs_committed += len(result.committed)
         self.stats.txs_discarded += len(result.discarded)
+        telemetry.event(
+            "node.commit",
+            node=self.node_id,
+            index=superblock.index,
+            committed=len(result.committed),
+            discarded=len(result.discarded),
+            sim_now=self.sim.now,
+        )
+        logger.debug(
+            "node %d committed superblock %d: %d txs, %d discarded",
+            self.node_id, superblock.index,
+            len(result.committed), len(result.discarded),
+        )
 
         # Index receipts for client confirmation queries (§VI receipts).
         receipts_by_hash = {r.tx_hash: r for r in result.receipts if r.success}
@@ -392,6 +491,18 @@ class ValidatorNode:
             )
             if self._receive(tx, from_peer=False):
                 self.stats.rpm_reports += 1
+                telemetry.event(
+                    "rpm.report",
+                    node=self.node_id,
+                    proposer=proposer_id,
+                    error=error,
+                    index=superblock.index,
+                    sim_now=self.sim.now,
+                )
+                logger.info(
+                    "node %d filed RPM report against proposer %d (%s)",
+                    self.node_id, proposer_id, error,
+                )
 
     def _refresh_exclusions(self) -> None:
         """Listen for Byzantine-validator events (Alg. 2 line 42)."""

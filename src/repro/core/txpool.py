@@ -12,9 +12,26 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from types import SimpleNamespace
 
-from repro import params
+from repro import params, telemetry
 from repro.core.transaction import Transaction
+
+#: global-registry mirrors (aggregated over every pool in the process)
+_metrics = telemetry.bind(
+    lambda reg: SimpleNamespace(
+        admitted=reg.counter("srbb_txpool_admitted_total", "txs admitted to a pool"),
+        duplicates=reg.counter("srbb_txpool_duplicates_total", "duplicate admissions rejected"),
+        expired=reg.counter("srbb_txpool_expired_total", "txs dropped on TTL expiry"),
+        evicted=reg.counter("srbb_txpool_evicted_total", "txs evicted by capacity pressure"),
+        taken=reg.counter("srbb_txpool_batched_total", "txs taken into block batches"),
+        occupancy=reg.histogram(
+            "srbb_txpool_occupancy", "pool size sampled at each admission",
+            buckets=telemetry.COUNT_BUCKETS,
+        ),
+        size=reg.gauge("srbb_txpool_size", "most recent pool size"),
+    )
+)
 
 
 @dataclass
@@ -55,16 +72,22 @@ class TxPool:
 
     def add(self, tx: Transaction, now: float = 0.0) -> bool:
         """Admit ``tx``; returns False on duplicate or evicts oldest if full."""
+        m = _metrics()
         if tx.tx_hash in self._pending:
             self.stats.duplicates += 1
+            m.duplicates.inc()
             return False
         if len(self._pending) >= self.capacity:
             # FIFO eviction: congestion makes the pool drop the oldest tx —
             # precisely the "transaction loss" DIABLO observes.
             self._pending.popitem(last=False)
             self.stats.evicted += 1
+            m.evicted.inc()
         self._pending[tx.tx_hash] = (tx, now)
         self.stats.admitted += 1
+        m.admitted.inc()
+        m.occupancy.observe(len(self._pending))
+        m.size.set(len(self._pending))
         return True
 
     # -- expiry ----------------------------------------------------------------
@@ -78,6 +101,7 @@ class TxPool:
                 del self._pending[tx_hash]
                 dropped.append(tx)
                 self.stats.expired += 1
+                _metrics().expired.inc()
             else:
                 # OrderedDict is FIFO by admission time: first fresh entry
                 # means the rest are fresh too.
@@ -145,6 +169,10 @@ class TxPool:
         while len(batch) < max_txs and one_pass():
             if next_nonce is None:
                 break  # without nonce gating one sweep sees everything
+        if batch:
+            m = _metrics()
+            m.taken.inc(len(batch))
+            m.size.set(len(self._pending))
         return batch
 
     def peek(self, count: int) -> list[Transaction]:

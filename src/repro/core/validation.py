@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro import params
 from repro.core.transaction import Transaction
 from repro.crypto.keys import recover_check
+from repro.telemetry import timed
 
 #: How far ahead of the account nonce the pool accepts transactions
 #: (Geth tolerates gaps in the queued region; we use a simple window).
@@ -43,6 +44,7 @@ def _fail(code: str) -> ValidationOutcome:
     return ValidationOutcome(False, code)
 
 
+@timed("srbb_eager_validate_seconds", "wall time per eager validation")
 def eager_validate(
     tx: Transaction,
     state,

@@ -2,13 +2,34 @@
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
+from types import SimpleNamespace
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.deployment import Deployment
 from repro.core.transaction import Transaction
 from repro.diablo.client import LoadSchedule, RoundRobinSubmitter
+
+logger = logging.getLogger("repro.diablo.benchmark")
+
+_metrics = telemetry.bind(
+    lambda reg: SimpleNamespace(
+        sent=reg.counter(
+            "srbb_diablo_txs_sent_total", "schedule entries submitted to a deployment"
+        ),
+        committed=reg.counter(
+            "srbb_diablo_txs_committed_total",
+            "schedule entries confirmed by >= f+1 validators",
+        ),
+        latency=reg.histogram(
+            "srbb_diablo_commit_latency_seconds",
+            "client-observed commit latency on the message-level engine",
+        ),
+    )
+)
 
 
 @dataclass
@@ -78,13 +99,24 @@ class DiabloBenchmark:
     ) -> BenchmarkResult:
         """Submit the schedule, run the simulator, collect client metrics."""
         deployment = self.deployment
-        deployment.start()
-        self.submitter.submit_all(deployment, schedule)
-        horizon = (
-            horizon_s if horizon_s is not None else schedule.duration_s + grace_s
+        with telemetry.span(
+            "diablo.run", schedule=schedule.name, n=deployment.protocol.n
+        ) as span_attrs:
+            deployment.start()
+            self.submitter.submit_all(deployment, schedule)
+            horizon = (
+                horizon_s if horizon_s is not None else schedule.duration_s + grace_s
+            )
+            deployment.run_until(horizon)
+            result = self.collect(schedule, horizon)
+            span_attrs["sent"] = result.sent
+            span_attrs["committed"] = result.committed
+        logger.info(
+            "diablo run %s: %d/%d committed, %.2f TPS, %.3f s avg latency",
+            schedule.name, result.committed, result.sent,
+            result.throughput_tps, result.avg_latency_s,
         )
-        deployment.run_until(horizon)
-        return self.collect(schedule, horizon)
+        return result
 
     def collect(self, schedule: LoadSchedule, horizon: float) -> BenchmarkResult:
         """Compute commit latency/throughput from validator chains.
@@ -109,6 +141,12 @@ class DiabloBenchmark:
                 latencies.append(commit_time - send_time)
                 last_commit = max(last_commit, commit_time)
         duration = max(last_commit, schedule.duration_s)
+        if telemetry.get_registry().enabled:
+            m = _metrics()
+            m.sent.inc(len(schedule))
+            m.committed.inc(committed)
+            for value in latencies:
+                m.latency.observe(value)
         return BenchmarkResult(
             name=schedule.name,
             sent=len(schedule),

@@ -12,9 +12,30 @@ redundancy factor that motivates §III-A.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import SimpleNamespace
 from typing import Callable
 
+from repro import telemetry
 from repro.net.transport import Message, Network
+
+#: process-wide gossip redundancy counters (the §III-A overhead, exported)
+_metrics = telemetry.bind(
+    lambda reg: SimpleNamespace(
+        originated=reg.counter(
+            "srbb_gossip_originated_total", "gossip items originated"
+        ),
+        forwarded=reg.counter(
+            "srbb_gossip_forwarded_total", "gossip envelopes forwarded to peers"
+        ),
+        received=reg.counter(
+            "srbb_gossip_received_total", "gossip envelopes received"
+        ),
+        duplicates=reg.counter(
+            "srbb_gossip_duplicates_total",
+            "received gossip envelopes suppressed as duplicates",
+        ),
+    )
+)
 
 
 @dataclass
@@ -58,6 +79,7 @@ class GossipLayer:
             return
         self._seen.add(item_id)
         self.stats.originated += 1
+        _metrics().originated.inc()
         self._forward(item_id, payload, size_bytes, hops=0)
 
     def handle(self, msg: Message) -> bool:
@@ -67,8 +89,11 @@ class GossipLayer:
         """
         item_id, payload, size_bytes, hops = msg.payload
         self.stats.received += 1
+        m = _metrics()
+        m.received.inc()
         if item_id in self._seen:
             self.stats.duplicates_suppressed += 1
+            m.duplicates.inc()
             return False
         self._seen.add(item_id)
         self.deliver(payload, msg.sender)
@@ -87,6 +112,7 @@ class GossipLayer:
         )
         sent = self.network.send_to_peers(self.node_id, msg)
         self.stats.forwarded += sent
+        _metrics().forwarded.inc(sent)
 
     def has_seen(self, item_id: object) -> bool:
         return item_id in self._seen

@@ -11,14 +11,37 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from types import SimpleNamespace
 from typing import Any, Callable, Protocol
 
 import numpy as np
 
-from repro import params
+from repro import params, telemetry
 from repro.errors import NetworkError
 from repro.net.simulator import Simulator
 from repro.net.topology import Topology
+
+#: global-registry mirrors of the traffic counters — §III's bandwidth
+#: evidence (and Fig. 1's validation-count claim) as a direct export
+_metrics = telemetry.bind(
+    lambda reg: SimpleNamespace(
+        messages=reg.counter(
+            "srbb_net_messages_total", "messages sent over the simulated network"
+        ),
+        bytes=reg.counter(
+            "srbb_net_bytes_total", "bytes sent over the simulated network"
+        ),
+        by_kind={},  # lazily-filled (kind -> (messages child, bytes child))
+    )
+)
+
+
+def _kind_children(m: SimpleNamespace, kind: str):
+    pair = m.by_kind.get(kind)
+    if pair is None:
+        pair = (m.messages.labels(kind=kind), m.bytes.labels(kind=kind))
+        m.by_kind[kind] = pair
+    return pair
 
 
 @dataclass(frozen=True)
@@ -70,6 +93,9 @@ class NetStats:
         sender = self.by_sender.setdefault(msg.sender, [0, 0])
         sender[0] += 1
         sender[1] += msg.size_bytes
+        msgs_child, bytes_child = _kind_children(_metrics(), msg.kind)
+        msgs_child.inc()
+        bytes_child.inc(msg.size_bytes)
 
     def egress_bytes(self, sender: int) -> int:
         return self.by_sender.get(sender, [0, 0])[1]

@@ -19,12 +19,52 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from types import SimpleNamespace
 
 import numpy as np
 
+from repro import telemetry
 from repro.sim.chains import ChainModel
 from repro.sim.metrics import LatencySample, SimResult
 from repro.workloads.trace import Trace
+
+
+def _build_metrics(reg: telemetry.MetricsRegistry) -> SimpleNamespace:
+    dropped = reg.counter(
+        "srbb_sim_txs_dropped_total", "txs lost in the tick engine, by stage"
+    )
+    return SimpleNamespace(
+        sent=reg.counter("srbb_sim_txs_sent_total", "txs entering the tick engine"),
+        committed=reg.counter(
+            "srbb_sim_txs_committed_total", "txs committed by the tick engine"
+        ),
+        dropped_pool=dropped.labels(reason="pool"),
+        dropped_validation=dropped.labels(reason="validation"),
+        unfinished=reg.gauge(
+            "srbb_sim_txs_unfinished", "txs still queued at the measurement horizon"
+        ),
+        latency=reg.histogram(
+            "srbb_sim_commit_latency_seconds", "client-observed commit latency"
+        ),
+        validation_depth=reg.histogram(
+            "srbb_sim_validation_queue_depth",
+            "validation (admission) queue occupancy per tick",
+            buckets=telemetry.COUNT_BUCKETS,
+        ),
+        mempool_depth=reg.histogram(
+            "srbb_sim_mempool_depth", "mempool occupancy per tick",
+            buckets=telemetry.COUNT_BUCKETS,
+        ),
+        validation_gauge=reg.gauge(
+            "srbb_sim_validation_queue_size", "validation queue size, last tick"
+        ),
+        mempool_gauge=reg.gauge(
+            "srbb_sim_mempool_size", "mempool size, last tick"
+        ),
+    )
+
+
+_metrics = telemetry.bind(_build_metrics)
 
 #: default tick length, seconds
 DT = 0.1
@@ -95,6 +135,15 @@ class CongestionSim:
         self.grace_s = grace_s
 
     def run(self) -> SimResult:
+        with telemetry.span(
+            "sim.run", chain=self.model.name, workload=self.trace.name
+        ) as span_attrs:
+            result = self._run()
+            span_attrs["sent"] = result.sent
+            span_attrs["committed"] = result.committed
+        return result
+
+    def _run(self) -> SimResult:
         model, dt = self.model, self.dt
         arrivals = self.trace.arrivals_per_tick(dt)  # integer counts per tick
         send_ticks = len(arrivals)
@@ -120,6 +169,8 @@ class CongestionSim:
         validation_series = np.zeros(horizon_ticks)
         sent = int(arrivals.sum())
         last_commit_time = 0.0
+        telemetry_on = telemetry.get_registry().enabled
+        m = _metrics() if telemetry_on else None
 
         for tick in range(horizon_ticks):
             now = tick * dt
@@ -159,10 +210,15 @@ class CongestionSim:
                 committed += count
                 commit_series[tick] += count
                 latency.add(now - send_time, count)
+                if telemetry_on:
+                    m.latency.observe(now - send_time, count)
                 last_commit_time = now
 
             pool_series[tick] = mempool.size
             validation_series[tick] = validation_q.size
+            if telemetry_on:
+                m.mempool_depth.observe(mempool.size)
+                m.validation_depth.observe(validation_q.size)
 
         # commits still in flight past the horizon land if their commit tick
         # is within the consensus-latency tail
@@ -173,11 +229,13 @@ class CongestionSim:
                 if commit_tick < len(commit_series):
                     commit_series[commit_tick] += count
                 latency.add(now - send_time, count)
+                if telemetry_on:
+                    m.latency.observe(now - send_time, count)
                 last_commit_time = now
 
         unfinished = validation_q.size + mempool.size
         duration = max(last_commit_time, self.trace.duration_s)
-        return SimResult(
+        result = SimResult(
             chain=model.name,
             workload=self.trace.name,
             sent=sent,
@@ -192,6 +250,17 @@ class CongestionSim:
             pool_series=pool_series,
             validation_series=validation_series,
         )
+        if telemetry_on:
+            # Counters take the rounded result values so the exported
+            # metrics reconcile *exactly* with SimResult.
+            m.sent.inc(result.sent)
+            m.committed.inc(result.committed)
+            m.dropped_pool.inc(result.dropped_pool)
+            m.dropped_validation.inc(result.dropped_validation)
+            m.unfinished.set(result.unfinished)
+            m.validation_gauge.set(validation_series[-1] if len(validation_series) else 0)
+            m.mempool_gauge.set(pool_series[-1] if len(pool_series) else 0)
+        return result
 
 
 def simulate_chain(

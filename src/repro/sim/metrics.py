@@ -13,40 +13,77 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.telemetry import Histogram
 
-@dataclass
+
 class LatencySample:
-    """Weighted latency accumulator (cohorts carry counts, not objects)."""
+    """Weighted latency accumulator (cohorts carry counts, not objects).
 
-    total_weight: float = 0.0
-    weighted_sum: float = 0.0
-    max_latency: float = 0.0
-    _values: list[tuple[float, float]] = field(default_factory=list)
+    Backed by a standalone telemetry :class:`Histogram`, whose bounded
+    DDSketch-style quantile sketch replaces the old per-cohort list — a
+    multi-hour run now costs O(bins), not O(commits), for the same
+    ``.mean`` / ``.percentile()`` API (percentiles carry ~1 % relative
+    error, far below the run-to-run noise of the simulator).
+
+    ``add`` coalesces duplicate values in a small pending dict before
+    touching the histogram: tick-engine latencies are quantized to the
+    tick length, so most cohorts hit an existing entry and cost one dict
+    update instead of a full ``observe``.
+    """
+
+    __slots__ = ("_hist", "_pending")
+
+    #: flush threshold — bounds pending-dict memory for continuous-valued
+    #: callers (the DIABLO harness) while staying far above the number of
+    #: distinct tick-quantized latencies a simulator run produces
+    _FLUSH_AT = 8192
+
+    def __init__(self) -> None:
+        self._hist = Histogram("latency_sample_seconds")
+        self._pending: dict[float, float] = {}
 
     def add(self, latency: float, weight: float) -> None:
-        if weight <= 0:
-            return
-        self.total_weight += weight
-        self.weighted_sum += latency * weight
-        self.max_latency = max(self.max_latency, latency)
-        self._values.append((latency, weight))
+        pending = self._pending
+        pending[latency] = pending.get(latency, 0.0) + weight
+        if len(pending) >= self._FLUSH_AT:
+            self._flush()
+
+    def _flush(self) -> None:
+        observe = self._hist.observe
+        for value, weight in self._pending.items():
+            observe(value, weight)
+        self._pending.clear()
+
+    @property
+    def total_weight(self) -> float:
+        self._flush()
+        return self._hist.count
+
+    @property
+    def weighted_sum(self) -> float:
+        self._flush()
+        return self._hist.sum
+
+    @property
+    def max_latency(self) -> float:
+        self._flush()
+        return self._hist.max if self._hist.count else 0.0
 
     @property
     def mean(self) -> float:
-        return self.weighted_sum / self.total_weight if self.total_weight else 0.0
+        self._flush()
+        return self._hist.mean
 
     def percentile(self, q: float) -> float:
-        """Weighted percentile (q in [0, 100])."""
-        if not self._values:
-            return 0.0
-        values = np.array([v for v, _ in self._values])
-        weights = np.array([w for _, w in self._values])
-        order = np.argsort(values)
-        values, weights = values[order], weights[order]
-        cumulative = np.cumsum(weights)
-        cutoff = q / 100.0 * cumulative[-1]
-        idx = int(np.searchsorted(cumulative, cutoff))
-        return float(values[min(idx, len(values) - 1)])
+        """Weighted percentile (q in [0, 100]), streaming-estimated."""
+        self._flush()
+        return self._hist.percentile(q)
+
+    @property
+    def histogram(self) -> Histogram:
+        """The backing telemetry histogram (for export/inspection)."""
+        self._flush()
+        return self._hist
 
 
 @dataclass

@@ -1,0 +1,71 @@
+"""``repro.telemetry`` — metrics, tracing and exporters for the SRBB pipeline.
+
+Three layers, all off by default and one-branch-cheap until enabled:
+
+* **Metrics** — :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+  in a :class:`MetricsRegistry` (labeled children, bounded streaming
+  quantiles).  A process-global default registry backs the CLI's
+  ``--metrics-out``; ``use_registry()`` scopes a fresh one for tests.
+* **Tracing** — :func:`span` context managers and point :func:`event` s
+  buffered by a global :class:`Tracer` and dumped as JSONL
+  (``--trace-out``).
+* **Exporters / timing** — Prometheus text + JSON snapshots, and the
+  :func:`timed` / :func:`stopwatch` wall-clock helpers for hot paths.
+
+The metric catalogue (names, labels, units) lives in
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.telemetry.exporters import (
+    parse_prometheus,
+    to_json,
+    to_prometheus,
+    write_metrics,
+)
+from repro.telemetry.logconfig import configure_logging, verbosity_to_level
+from repro.telemetry.registry import (
+    COUNT_BUCKETS,
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QuantileSketch,
+    bind,
+    disable,
+    enable,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.telemetry.timing import stopwatch, timed
+from repro.telemetry.tracing import Tracer, event, get_tracer, set_tracer, span
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QuantileSketch",
+    "Tracer",
+    "bind",
+    "configure_logging",
+    "disable",
+    "enable",
+    "event",
+    "get_registry",
+    "get_tracer",
+    "parse_prometheus",
+    "set_registry",
+    "set_tracer",
+    "span",
+    "stopwatch",
+    "timed",
+    "to_json",
+    "to_prometheus",
+    "use_registry",
+    "verbosity_to_level",
+    "write_metrics",
+]

@@ -1,0 +1,46 @@
+"""Stdlib logging wiring for the ``repro.*`` logger namespace.
+
+Every module that logs uses ``logging.getLogger("repro.<module>")``; this
+helper attaches one stream handler to the ``repro`` parent logger so a
+single ``-v``/``-vv`` flag controls the whole pipeline without touching
+the process root logger (library etiquette).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["configure_logging", "verbosity_to_level"]
+
+_HANDLER_FLAG = "_repro_cli_handler"
+
+_FORMAT = "%(levelname)-7s %(name)s: %(message)s"
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """0 → WARNING, 1 → INFO, ≥2 → DEBUG."""
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger tree for CLI use; idempotent."""
+    logger = logging.getLogger("repro")
+    logger.setLevel(verbosity_to_level(verbosity))
+    for handler in logger.handlers:
+        if getattr(handler, _HANDLER_FLAG, False):
+            if stream is not None:
+                handler.setStream(stream)
+            break
+    else:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        setattr(handler, _HANDLER_FLAG, True)
+        logger.addHandler(handler)
+    # The CLI handler is the sink of record; don't double-log through root.
+    logger.propagate = False
+    return logger

@@ -1,0 +1,118 @@
+"""Structured tracing — spans and point events, dumped as JSONL.
+
+A trace is an append-only sequence of records with monotonic timestamps
+(``time.monotonic`` relative to tracer creation), so a whole DIABLO run
+can be replayed after the fact:
+
+* ``{"ts": 0.0123, "type": "event", "name": "node.commit", "attrs": {...}}``
+* ``{"ts": 0.0007, "type": "span", "name": "sim.run", "dur": 2.41, "attrs": {...}}``
+
+Like the metrics registry, the process-global tracer starts *disabled*:
+``span``/``event`` are one-branch no-ops until the CLI's ``--trace-out``
+(or a test) enables it.  Simulation call-sites pass the simulated clock
+as an ordinary attribute (e.g. ``sim_now=...``) — ``ts`` is always wall
+monotonic time.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager, nullcontext
+from typing import Iterator
+
+__all__ = ["Tracer", "get_tracer", "set_tracer", "span", "event"]
+
+
+class Tracer:
+    """Buffering trace recorder; cheap no-op while disabled."""
+
+    def __init__(self, *, enabled: bool = True, clock=time.monotonic):
+        self.enabled = enabled
+        self._clock = clock
+        self._t0 = clock()
+        self._records: list[dict] = []
+
+    # -- recording -------------------------------------------------------------
+
+    def now(self) -> float:
+        return self._clock() - self._t0
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a point event."""
+        if not self.enabled:
+            return
+        self._records.append(
+            {"ts": round(self.now(), 6), "type": "event", "name": name, "attrs": attrs}
+        )
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[dict]:
+        """Record a timed span around a block; yields the mutable attrs
+        dict so the body can attach results (counts, outcomes)."""
+        if not self.enabled:
+            yield attrs
+            return
+        start = self.now()
+        try:
+            yield attrs
+        finally:
+            end = self.now()
+            self._records.append(
+                {
+                    "ts": round(start, 6),
+                    "type": "span",
+                    "name": name,
+                    "dur": round(end - start, 6),
+                    "attrs": attrs,
+                }
+            )
+
+    # -- access / export -------------------------------------------------------
+
+    @property
+    def records(self) -> "list[dict]":
+        return list(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._t0 = self._clock()
+
+    def dumps(self) -> str:
+        """The whole trace as JSONL (one record per line, ts-ordered)."""
+        ordered = sorted(self._records, key=lambda r: r["ts"])
+        return "".join(json.dumps(r, default=str) + "\n" for r in ordered)
+
+    def dump(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.dumps())
+
+
+#: disabled by default, mirroring the metrics registry
+_default_tracer = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    return _default_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    global _default_tracer
+    previous = _default_tracer
+    _default_tracer = tracer
+    return previous
+
+
+def span(name: str, **attrs):
+    """Span on the global tracer (cheap nullcontext while disabled)."""
+    tracer = _default_tracer
+    if not tracer.enabled:
+        return nullcontext(attrs)
+    return tracer.span(name, **attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """Point event on the global tracer."""
+    tracer = _default_tracer
+    if tracer.enabled:
+        tracer.event(name, **attrs)

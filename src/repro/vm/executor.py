@@ -16,9 +16,10 @@ The executor realizes the paper's execution semantics:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import SimpleNamespace
 from typing import Any
 
-from repro import params
+from repro import params, telemetry
 # NB: repro.core imports are deferred to call time — repro.core.blockchain
 # imports this module, and eager cross-imports would make the package
 # import order (vm-first vs core-first) matter.
@@ -42,6 +43,23 @@ from repro.vm.contracts.base import NativeRegistry, native_registry
 from repro.vm.gas import intrinsic_gas
 from repro.vm.state import WorldState
 from repro.vm.svm import SVM, CallContext
+
+
+def _build_metrics(reg: telemetry.MetricsRegistry) -> SimpleNamespace:
+    executed = reg.counter(
+        "srbb_vm_txs_executed_total", "transactions executed, by outcome"
+    )
+    return SimpleNamespace(
+        ok=executed.labels(status="ok"),
+        failed=executed.labels(status="failed"),
+        failures=reg.counter(
+            "srbb_vm_tx_failures_total", "failed executions, by error code"
+        ),
+        gas=reg.counter("srbb_vm_gas_used_total", "gas consumed by successful txs"),
+    )
+
+
+_metrics = telemetry.bind(_build_metrics)
 
 
 @dataclass
@@ -100,10 +118,19 @@ class Executor:
 
         outcome = lazy_validate(tx, self.state)
         if not outcome.ok:
-            return Receipt(
+            receipt = Receipt(
                 tx_hash=tx.tx_hash, success=False, error=outcome.error_code
             )
-        return self.apply_transaction(tx, coinbase=coinbase)
+        else:
+            receipt = self.apply_transaction(tx, coinbase=coinbase)
+        m = _metrics()
+        if receipt.success:
+            m.ok.inc()
+            m.gas.inc(receipt.gas_used)
+        else:
+            m.failed.inc()
+            m.failures.labels(error=receipt.error or "unknown").inc()
+        return receipt
 
     # -- ApplyTransaction ------------------------------------------------------
 

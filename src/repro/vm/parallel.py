@@ -16,11 +16,28 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import ceil
+from types import SimpleNamespace
 from typing import Sequence
 
+from repro import telemetry
 from repro.core.transaction import Transaction
 from repro.vm.conflicts import analyze_block
 from repro.vm.executor import Executor, Receipt
+
+_metrics = telemetry.bind(
+    lambda reg: SimpleNamespace(
+        speedup=reg.histogram(
+            "srbb_vm_parallel_speedup",
+            "serial/parallel time ratio per executed batch",
+            buckets=(1, 1.5, 2, 3, 4, 6, 8, 12, 16, 24, 32),
+        ),
+        groups=reg.histogram(
+            "srbb_vm_parallel_groups",
+            "conflict-free group count (schedule depth) per batch",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+        ),
+    )
+)
 
 
 @dataclass
@@ -72,6 +89,10 @@ def execute_parallel(
             result.group_of[position] = group_index
         result.parallel_time_s += ceil(len(group) / workers) * unit
     result.serial_time_s = len(txs) * unit
+    if txs:
+        m = _metrics()
+        m.speedup.observe(result.speedup)
+        m.groups.observe(result.groups)
     return result
 
 

@@ -1,0 +1,105 @@
+"""Tracer spans/events, JSONL dump, global no-op behavior."""
+
+import json
+
+from repro import telemetry
+from repro.telemetry import Tracer, get_tracer, set_tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestTracer:
+    def test_event_recorded_relative_to_creation(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        clock.t += 1.5
+        tracer.event("node.commit", node=0, committed=3)
+        (rec,) = tracer.records
+        assert rec == {
+            "ts": 1.5,
+            "type": "event",
+            "name": "node.commit",
+            "attrs": {"node": 0, "committed": 3},
+        }
+
+    def test_span_duration_and_result_attrs(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("sim.run", chain="srbb") as attrs:
+            clock.t += 2.0
+            attrs["committed"] = 10
+        (rec,) = tracer.records
+        assert rec["type"] == "span"
+        assert rec["dur"] == 2.0
+        assert rec["attrs"] == {"chain": "srbb", "committed": 10}
+
+    def test_span_records_on_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError()
+        except RuntimeError:
+            pass
+        assert tracer.records[0]["name"] == "boom"
+
+    def test_disabled_is_noop(self):
+        tracer = Tracer(enabled=False)
+        tracer.event("x")
+        with tracer.span("y"):
+            pass
+        assert tracer.records == []
+
+    def test_dumps_jsonl_sorted(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer"):  # recorded at exit, ts = start
+            clock.t += 1.0
+            tracer.event("inner")
+        lines = [json.loads(line) for line in tracer.dumps().splitlines()]
+        assert [r["name"] for r in lines] == ["outer", "inner"]
+        assert lines[0]["ts"] <= lines[1]["ts"]
+
+    def test_dump_to_file(self, tmp_path):
+        tracer = Tracer()
+        tracer.event("a", k="v")
+        path = tmp_path / "trace.jsonl"
+        tracer.dump(str(path))
+        assert json.loads(path.read_text().splitlines()[0])["name"] == "a"
+
+    def test_clear_resets_clock(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        clock.t += 5.0
+        tracer.event("old")
+        tracer.clear()
+        tracer.event("new")
+        assert tracer.records[0]["ts"] == 0.0
+
+
+class TestGlobalTracer:
+    def test_default_disabled(self):
+        assert not get_tracer().enabled
+
+    def test_module_level_helpers_noop_when_disabled(self):
+        before = len(get_tracer().records)
+        telemetry.event("ignored")
+        with telemetry.span("ignored") as attrs:
+            attrs["x"] = 1  # nullcontext still yields a dict
+        assert len(get_tracer().records) == before
+
+    def test_module_level_helpers_record_when_swapped(self):
+        fresh = Tracer()
+        previous = set_tracer(fresh)
+        try:
+            telemetry.event("e")
+            with telemetry.span("s"):
+                pass
+        finally:
+            set_tracer(previous)
+        assert {r["name"] for r in fresh.records} == {"e", "s"}
