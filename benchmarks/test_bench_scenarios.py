@@ -1,0 +1,47 @@
+"""Bench-scenario suite — every registered scenario, end to end.
+
+Two properties the regression gate (``repro metrics-diff``) depends on,
+checked for *all* scenarios including the expensive message-level ones:
+
+* determinism — running a scenario twice yields the identical headline
+  stats dict (seeded RNGs, sim-time-only stats);
+* artifact validity — the emitted ``BENCH_<name>.json`` passes the
+  ``repro.bench/v1`` structural schema.
+
+The cheap tick-engine scenarios are additionally covered in tier-1
+(``tests/bench/test_scenarios.py``); this suite is the exhaustive pass.
+"""
+
+import pytest
+
+from repro.bench import (
+    BenchArtifact,
+    artifact_filename,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+    validate_artifact,
+)
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_scenario_deterministic_and_artifact_valid(
+    name, benchmark, run_once, tmp_path
+):
+    first = run_once(benchmark, run_scenario, name)
+    second = run_scenario(name)
+
+    print()
+    print(f"{name}: {get_scenario(name).description}")
+    for key in sorted(first.headline):
+        print(f"  {key:<40} {first.headline[key]:>14.4f}")
+
+    # same seed -> identical headline stats (what baselines rely on)
+    assert first.headline == second.headline
+    # headline stats carry simulated-time evidence, never wall clock
+    assert first.headline, "scenario produced no headline stats"
+    assert all(isinstance(v, (int, float)) for v in first.headline.values())
+
+    path = tmp_path / artifact_filename(name)
+    first.save(str(path))
+    assert validate_artifact(BenchArtifact.load(str(path)).to_dict()) == []

@@ -1,0 +1,163 @@
+"""Schema-versioned ``BENCH_<scenario>.json`` artifacts.
+
+One artifact captures everything needed to compare a benchmark run
+months later without re-running it:
+
+* ``headline`` — the scenario's derived stats (throughput, latency
+  quantiles, messages per committed tx, …), flat ``name -> number``;
+* ``metrics`` — the full ``telemetry.to_json`` registry snapshot taken
+  from the run's scoped registry;
+* ``env`` — environment fingerprint (python, platform, host, git SHA,
+  wall time) so a diff can tell "code got slower" from "ran elsewhere".
+
+The schema is validated structurally by :func:`validate_artifact` (no
+external jsonschema dependency) and versioned via :data:`ARTIFACT_SCHEMA`
+so future layout changes stay detectable.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+import platform
+import socket
+import subprocess
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+
+ARTIFACT_SCHEMA = "repro.bench/v1"
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "BenchArtifact",
+    "artifact_filename",
+    "environment_fingerprint",
+    "validate_artifact",
+]
+
+
+def _git_sha() -> "str | None":
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def environment_fingerprint(*, wall_time_s: float) -> dict:
+    """Where and when this artifact was produced."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "host": socket.gethostname(),
+        "git_sha": _git_sha(),
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "wall_time_s": round(wall_time_s, 3),
+    }
+
+
+def artifact_filename(scenario: str) -> str:
+    return f"BENCH_{scenario}.json"
+
+
+@dataclass
+class BenchArtifact:
+    """One scenario run, serialized as ``BENCH_<scenario>.json``."""
+
+    scenario: str
+    description: str
+    seed: int
+    headline: dict
+    metrics: dict
+    env: dict
+    schema: str = ARTIFACT_SCHEMA
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        doc = {
+            "schema": self.schema,
+            "scenario": self.scenario,
+            "description": self.description,
+            "seed": self.seed,
+            "env": self.env,
+            "headline": self.headline,
+            "metrics": self.metrics,
+        }
+        if self.extra:
+            doc["extra"] = self.extra
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "BenchArtifact":
+        problems = validate_artifact(doc)
+        if problems:
+            raise ValueError(
+                "invalid bench artifact: " + "; ".join(problems)
+            )
+        return cls(
+            scenario=doc["scenario"],
+            description=doc["description"],
+            seed=doc["seed"],
+            headline=doc["headline"],
+            metrics=doc["metrics"],
+            env=doc["env"],
+            schema=doc["schema"],
+            extra=doc.get("extra", {}),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True, default=str)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "BenchArtifact":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+_ENV_REQUIRED = ("python", "platform", "host", "created_utc", "wall_time_s")
+
+
+def validate_artifact(doc: object) -> "list[str]":
+    """Structural validation; returns a list of problems ([] when valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"artifact must be a JSON object, got {type(doc).__name__}"]
+    if doc.get("schema") != ARTIFACT_SCHEMA:
+        problems.append(
+            f"schema must be {ARTIFACT_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    for key, typ in (
+        ("scenario", str), ("description", str), ("seed", int),
+        ("env", dict), ("headline", dict), ("metrics", dict),
+    ):
+        value = doc.get(key)
+        if not isinstance(value, typ) or isinstance(value, bool):
+            problems.append(f"{key} must be {typ.__name__}, got {type(value).__name__}")
+    headline = doc.get("headline")
+    if isinstance(headline, dict):
+        for name, value in headline.items():
+            if not isinstance(name, str):
+                problems.append(f"headline key {name!r} is not a string")
+            if not isinstance(value, numbers.Real) or isinstance(value, bool):
+                problems.append(f"headline[{name!r}] is not a number: {value!r}")
+    env = doc.get("env")
+    if isinstance(env, dict):
+        for key in _ENV_REQUIRED:
+            if key not in env:
+                problems.append(f"env missing {key!r}")
+    metrics = doc.get("metrics")
+    if isinstance(metrics, dict):
+        for name, entry in metrics.items():
+            if not isinstance(entry, dict) or "type" not in entry or "samples" not in entry:
+                problems.append(f"metrics[{name!r}] is not a metric snapshot")
+                continue
+            if not isinstance(entry["samples"], list):
+                problems.append(f"metrics[{name!r}].samples is not a list")
+    return problems

@@ -1,0 +1,275 @@
+"""Canonical benchmark scenarios — named, seeded, deterministic.
+
+Each scenario is a fixed configuration over the existing engines (tick
+simulator or message-level deployment) with every RNG seeded and every
+topology taken from :mod:`repro.net.topology`, so the same code on the
+same inputs produces the *identical* headline-stats dict — that is what
+makes ``repro metrics-diff`` against a checked-in baseline meaningful.
+
+Headline stats are flat ``name -> float`` and must only contain
+simulated-time quantities (never wall-clock), so artifacts from
+different hosts stay comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.telemetry import MetricsRegistry
+
+__all__ = [
+    "Scenario",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "cheapest_scenarios",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One canonical run: a deterministic config plus a headline extractor."""
+
+    name: str
+    description: str
+    run: "Callable[[MetricsRegistry], dict]"
+    seed: int = 1
+    #: relative cost rank — lower is cheaper; CI runs the cheapest ones
+    cost_rank: int = 0
+    tags: tuple = field(default_factory=tuple)
+
+
+_SCENARIOS: "dict[str, Scenario]" = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    if scenario.name in _SCENARIOS:
+        raise ValueError(f"scenario {scenario.name!r} already registered")
+    _SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; options: {sorted(_SCENARIOS)}"
+        ) from None
+
+
+def scenario_names() -> "list[str]":
+    return sorted(_SCENARIOS)
+
+
+def cheapest_scenarios(k: int = 2) -> "list[str]":
+    """The ``k`` cheapest scenario names (CI's regression-gate set)."""
+    ranked = sorted(_SCENARIOS.values(), key=lambda s: (s.cost_rank, s.name))
+    return [s.name for s in ranked[:k]]
+
+
+# ---------------------------------------------------------------------------
+# Shared headline helpers
+# ---------------------------------------------------------------------------
+
+
+def _counter_total(reg: MetricsRegistry, name: str) -> float:
+    metric = reg.get(name)
+    return float(metric.total()) if metric is not None else 0.0
+
+
+def _ratio(num: float, den: float) -> float:
+    return num / den if den else 0.0
+
+
+def _sim_headline(prefix: str, result) -> dict:
+    """SimResult -> headline fragment (sim-time only, JSON-safe floats)."""
+    return {
+        f"{prefix}_throughput_tps": round(result.throughput_tps, 4),
+        f"{prefix}_commit_rate": round(result.commit_rate, 6),
+        f"{prefix}_avg_latency_s": round(result.avg_latency_s, 4),
+        f"{prefix}_p50_latency_s": round(result.p50_latency_s, 4),
+        f"{prefix}_p95_latency_s": round(result.p95_latency_s, 4),
+        f"{prefix}_p99_latency_s": round(result.p99_latency_s, 4),
+        f"{prefix}_dropped": float(result.dropped_pool + result.dropped_validation),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Scenario implementations
+# ---------------------------------------------------------------------------
+
+
+def _run_tvpr_ablation(reg: MetricsRegistry) -> dict:
+    """§V-A ablation on the tick engine: SRBB (TVPR on) vs EVM+DBFT
+    (gossip everything) against the full FIFA workload."""
+    from repro.sim.chains import EVM_DBFT, SRBB
+    from repro.sim.engine import simulate_chain
+    from repro.workloads import fifa_trace
+
+    trace = fifa_trace()
+    srbb = simulate_chain(SRBB, trace)
+    base = simulate_chain(EVM_DBFT, trace)
+    headline = {}
+    headline.update(_sim_headline("srbb", srbb))
+    headline.update(_sim_headline("baseline", base))
+    headline["throughput_ratio"] = round(
+        _ratio(srbb.throughput_tps, base.throughput_tps), 4
+    )
+    headline["latency_ratio"] = round(
+        _ratio(base.avg_latency_s, srbb.avg_latency_s), 4
+    )
+    return headline
+
+
+def _run_saturation_sweep(reg: MetricsRegistry) -> dict:
+    """Offered-load sweep on the tick engine: throughput/commit-rate at
+    fixed rates plus the bisected saturation point, SRBB vs EVM+DBFT."""
+    from repro.sim.chains import EVM_DBFT, SRBB
+    from repro.sim.sweep import latency_curve, saturation_throughput
+
+    rates = (250, 500, 1_000, 2_000, 4_000)
+    headline: dict = {}
+    for prefix, model in (("srbb", SRBB), ("baseline", EVM_DBFT)):
+        for point in latency_curve(model, rates, duration_s=30, grace_s=60.0):
+            headline[f"{prefix}_throughput_tps_at_{point.rate_tps}"] = round(
+                point.throughput_tps, 4
+            )
+            headline[f"{prefix}_commit_rate_at_{point.rate_tps}"] = round(
+                point.commit_rate, 6
+            )
+        headline[f"{prefix}_saturation_tps"] = float(
+            saturation_throughput(model, duration_s=20)
+        )
+    return headline
+
+
+def _dapp_derived(reg: MetricsRegistry, committed: float) -> dict:
+    """Registry-derived message-engine stats shared by the dapp scenarios."""
+    consensus_msgs = _counter_total(reg, "srbb_consensus_messages_total")
+    received = _counter_total(reg, "srbb_gossip_received_total")
+    duplicates = _counter_total(reg, "srbb_gossip_duplicates_total")
+    return {
+        "consensus_msgs_per_committed_tx": round(
+            _ratio(consensus_msgs, committed), 4
+        ),
+        "net_messages_total": _counter_total(reg, "srbb_net_messages_total"),
+        "net_bytes_total": _counter_total(reg, "srbb_net_bytes_total"),
+        "gossip_redundancy": round(_ratio(duplicates, received), 6),
+        "vm_gas_used_total": _counter_total(reg, "srbb_vm_gas_used_total"),
+    }
+
+
+def _run_table1_dapp(reg: MetricsRegistry) -> dict:
+    """Table I's 4-validator Sydney deployment at 1/10 scale: SRBB w/o vs
+    w/ RPM under a Byzantine flooder (message-level engine)."""
+    from repro.analysis.figures import table1
+
+    no_rpm, with_rpm = table1(
+        valid_count=2_000, invalid_count=1_000, flood_per_block=250
+    )
+    committed = _counter_total(reg, "srbb_diablo_txs_committed_total")
+    headline = {
+        "no_rpm_throughput_tps": round(no_rpm.throughput_tps, 4),
+        "with_rpm_throughput_tps": round(with_rpm.throughput_tps, 4),
+        "rpm_gain": round(
+            _ratio(with_rpm.throughput_tps, no_rpm.throughput_tps) - 1.0, 6
+        ),
+        "valid_dropped_no_rpm": float(no_rpm.valid_dropped),
+        "valid_dropped_with_rpm": float(with_rpm.valid_dropped),
+        "invalid_sent_no_rpm": float(no_rpm.invalid_sent),
+        "invalid_sent_with_rpm": float(with_rpm.invalid_sent),
+        "diablo_committed_total": committed,
+    }
+    headline.update(_dapp_derived(reg, committed))
+    return headline
+
+
+def _run_fault_injection(reg: MetricsRegistry) -> dict:
+    """Message-level run over the paper's multi-region topology with one
+    slow validator (§VI's 'weak validator'): the protocol must keep
+    committing while cross-region metrics expose the asymmetry."""
+    from repro import params
+    from repro.core.deployment import Deployment
+    from repro.diablo.benchmark import DiabloBenchmark
+    from repro.diablo.client import LoadSchedule, RoundRobinSubmitter
+    from repro.net.faults import slow_nodes
+    from repro.net.topology import global_topology
+    from repro.workloads import nasdaq_request_factory, nasdaq_trace
+    from repro.workloads.synthetic import factory_balances
+
+    seed = 7
+    n = 8
+    trace = nasdaq_trace().scaled(0.002, name="nasdaq")
+    factory = nasdaq_request_factory(clients=16, seed=seed + 40)
+    deployment = Deployment(
+        protocol=params.ProtocolParams(n=n, tvpr=True),
+        topology=global_topology(n, degree=4, seed=seed),
+        extra_balances=factory_balances(factory),
+        seed=seed,
+    )
+    # One healthy-but-slow validator: every message to or from node 7
+    # takes an extra 400 ms (partial synchrony still bounds the delay).
+    deployment.network.adversarial_delay = slow_nodes([n - 1], 0.4)
+    schedule = LoadSchedule.from_trace(trace, factory)
+    bench = DiabloBenchmark(deployment, submitter=RoundRobinSubmitter())
+    result = bench.run(schedule, grace_s=30.0)
+    latencies = result.latencies_s
+    headline = {
+        "throughput_tps": round(result.throughput_tps, 4),
+        "commit_rate": round(result.commit_rate, 6),
+        "avg_latency_s": round(result.avg_latency_s, 4),
+        "p95_latency_s": round(
+            float(np.percentile(latencies, 95)) if len(latencies) else 0.0, 4
+        ),
+        "sent": float(result.sent),
+        "committed": float(result.committed),
+        "safety_holds": float(deployment.safety_holds()),
+        "states_agree": float(deployment.states_agree()),
+    }
+    headline.update(_dapp_derived(reg, float(result.committed)))
+    return headline
+
+
+register_scenario(Scenario(
+    name="tvpr_ablation",
+    description="SRBB vs EVM+DBFT on the full FIFA workload (tick engine): "
+    "the §V-A TVPR on/off throughput and latency ablation",
+    run=_run_tvpr_ablation,
+    seed=11,
+    cost_rank=0,
+    tags=("tick", "ablation"),
+))
+
+register_scenario(Scenario(
+    name="saturation_sweep",
+    description="Offered-load sweep and bisected saturation point, SRBB vs "
+    "EVM+DBFT (tick engine)",
+    run=_run_saturation_sweep,
+    seed=11,
+    cost_rank=1,
+    tags=("tick", "sweep"),
+))
+
+register_scenario(Scenario(
+    name="table1_dapp",
+    description="Table I at 1/10 scale: 4 Sydney validators, one Byzantine "
+    "flooder, SRBB w/o vs w/ RPM (message-level engine)",
+    run=_run_table1_dapp,
+    seed=1,
+    cost_rank=2,
+    tags=("engine", "rpm", "adversary"),
+))
+
+register_scenario(Scenario(
+    name="fault_injection",
+    description="8 validators over the 10-region topology with one slow "
+    "validator (+400 ms), NASDAQ mix (message-level engine)",
+    run=_run_fault_injection,
+    seed=7,
+    cost_rank=3,
+    tags=("engine", "faults", "regions"),
+))

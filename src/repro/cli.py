@@ -164,6 +164,36 @@ def _cmd_traces(args) -> int:
     return 0
 
 
+def _cmd_bench_run(args) -> int:
+    from repro.bench import run_scenarios, scenario_names
+
+    names = args.scenarios or scenario_names()
+    run_scenarios(names, out_dir=args.out_dir, log=lambda m: print(m, file=sys.stderr))
+    return 0
+
+
+def _cmd_bench_list(args) -> int:
+    from repro.bench import cheapest_scenarios, get_scenario, scenario_names
+
+    cheap = set(cheapest_scenarios(2))
+    for name in scenario_names():
+        scenario = get_scenario(name)
+        marker = " [ci]" if name in cheap else ""
+        print(f"{name:20s}{marker:6s} {scenario.description}")
+    return 0
+
+
+def _cmd_metrics_diff(args) -> int:
+    from repro.bench import compare_files
+
+    text, rc = compare_files(
+        args.old, args.new,
+        max_rows=args.max_rows, show_unchanged=args.show_unchanged,
+    )
+    print(text)
+    return rc
+
+
 def _telemetry_parent() -> argparse.ArgumentParser:
     """Options every subcommand shares (observability wiring)."""
     common = argparse.ArgumentParser(add_help=False)
@@ -257,6 +287,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--width", type=int, default=60)
     p.set_defaults(fn=_cmd_watch)
+
+    p = add_parser(
+        "bench",
+        help="scenario benchmark harness (BENCH_*.json artifacts)",
+        description="Run canonical benchmark scenarios and manage their "
+        "schema-versioned BENCH_<scenario>.json artifacts.",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    b = bench_sub.add_parser(
+        "run", parents=[common],
+        help="run scenarios and write BENCH_<scenario>.json artifacts",
+    )
+    b.add_argument("scenarios", nargs="*", metavar="SCENARIO",
+                   help="scenario names (default: all; see 'bench list')")
+    b.add_argument("--out-dir", default=".",
+                   help="directory for BENCH_*.json artifacts (default: .)")
+    b.set_defaults(fn=_cmd_bench_run)
+    b = bench_sub.add_parser(
+        "list", parents=[common], help="list registered scenarios"
+    )
+    b.set_defaults(fn=_cmd_bench_list)
+    b = bench_sub.add_parser(
+        "compare", parents=[common],
+        help="diff two artifacts/dumps (alias of metrics-diff)",
+    )
+    b.add_argument("old", help="baseline artifact/dump (JSON or Prometheus)")
+    b.add_argument("new", help="candidate artifact/dump (JSON or Prometheus)")
+    b.add_argument("--max-rows", type=int, default=40)
+    b.add_argument("--show-unchanged", action="store_true")
+    b.set_defaults(fn=_cmd_metrics_diff)
+
+    p = add_parser(
+        "metrics-diff",
+        help="diff two metric dumps with regression thresholds",
+        description="Compare two BENCH_*.json artifacts, --metrics-out JSON "
+        "snapshots, or Prometheus text dumps under direction-aware "
+        "thresholds; exits 1 when a gated metric regresses.",
+    )
+    p.add_argument("old", help="baseline artifact/dump (JSON or Prometheus)")
+    p.add_argument("new", help="candidate artifact/dump (JSON or Prometheus)")
+    p.add_argument("--max-rows", type=int, default=40,
+                   help="max table rows to print (default 40)")
+    p.add_argument("--show-unchanged", action="store_true",
+                   help="also list metrics that did not change")
+    p.set_defaults(fn=_cmd_metrics_diff)
 
     p = add_parser("report", help="regenerate the full markdown report")
     p.add_argument("--output", "-o", default=None, help="write to a file")

@@ -22,7 +22,11 @@ from repro.net.simulator import Simulator
 from repro.net.topology import Topology
 
 #: global-registry mirrors of the traffic counters — §III's bandwidth
-#: evidence (and Fig. 1's validation-count claim) as a direct export
+#: evidence (and Fig. 1's validation-count claim) as a direct export.
+#: Children are keyed (kind, src_region, dst_region) so each message is
+#: counted exactly once and the paper's cross-region bandwidth asymmetry
+#: (10-region deployment, §V) is visible in dumps; aggregate per kind or
+#: per region pair by summing over the other labels.
 _metrics = telemetry.bind(
     lambda reg: SimpleNamespace(
         messages=reg.counter(
@@ -31,16 +35,18 @@ _metrics = telemetry.bind(
         bytes=reg.counter(
             "srbb_net_bytes_total", "bytes sent over the simulated network"
         ),
-        by_kind={},  # lazily-filled (kind -> (messages child, bytes child))
+        children={},  # lazily-filled ((kind, src, dst) -> (messages, bytes))
     )
 )
 
 
-def _kind_children(m: SimpleNamespace, kind: str):
-    pair = m.by_kind.get(kind)
+def _traffic_children(m: SimpleNamespace, kind: str, src_region: str, dst_region: str):
+    key = (kind, src_region, dst_region)
+    pair = m.children.get(key)
     if pair is None:
-        pair = (m.messages.labels(kind=kind), m.bytes.labels(kind=kind))
-        m.by_kind[kind] = pair
+        labels = {"kind": kind, "src_region": src_region, "dst_region": dst_region}
+        pair = (m.messages.labels(**labels), m.bytes.labels(**labels))
+        m.children[key] = pair
     return pair
 
 
@@ -83,8 +89,13 @@ class NetStats:
     by_kind: dict = field(default_factory=dict)
     #: per-sender [messages, bytes] — who is spending the network
     by_sender: dict = field(default_factory=dict)
+    #: per-(src_region, dst_region) [messages, bytes] — cross-region
+    #: bandwidth asymmetry, the §V 10-region deployment evidence
+    by_region: dict = field(default_factory=dict)
 
-    def record(self, msg: Message) -> None:
+    def record(
+        self, msg: Message, *, src_region: str = "local", dst_region: str = "local"
+    ) -> None:
         self.messages += 1
         self.bytes += msg.size_bytes
         kind = self.by_kind.setdefault(msg.kind, [0, 0])
@@ -93,7 +104,12 @@ class NetStats:
         sender = self.by_sender.setdefault(msg.sender, [0, 0])
         sender[0] += 1
         sender[1] += msg.size_bytes
-        msgs_child, bytes_child = _kind_children(_metrics(), msg.kind)
+        region = self.by_region.setdefault((src_region, dst_region), [0, 0])
+        region[0] += 1
+        region[1] += msg.size_bytes
+        msgs_child, bytes_child = _traffic_children(
+            _metrics(), msg.kind, src_region, dst_region
+        )
         msgs_child.inc()
         bytes_child.inc(msg.size_bytes)
 
@@ -151,7 +167,11 @@ class Network:
         """Point-to-point send; delivery scheduled on the simulator."""
         if dst not in self._endpoints:
             raise NetworkError(f"unknown destination node {dst}")
-        self.stats.record(msg)
+        self.stats.record(
+            msg,
+            src_region=self.topology.region_of(src),
+            dst_region=self.topology.region_of(dst),
+        )
         delay = self.delay_for(src, dst, msg.size_bytes)
         self.sim.schedule(delay, self._deliver, dst, msg)
 
@@ -163,7 +183,8 @@ class Network:
             if dst == src:
                 # Local delivery is immediate-ish (loopback).
                 self.sim.schedule(0.0, self._deliver, dst, msg)
-                self.stats.record(msg)
+                region = self.topology.region_of(src)
+                self.stats.record(msg, src_region=region, dst_region=region)
             else:
                 self.send(src, dst, msg)
 

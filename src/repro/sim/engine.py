@@ -246,6 +246,8 @@ class CongestionSim:
             duration_s=duration,
             avg_latency_s=latency.mean,
             p99_latency_s=latency.percentile(99.0),
+            p50_latency_s=latency.percentile(50.0),
+            p95_latency_s=latency.percentile(95.0),
             commit_series=commit_series,
             pool_series=pool_series,
             validation_series=validation_series,

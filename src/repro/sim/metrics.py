@@ -100,6 +100,10 @@ class SimResult:
     duration_s: float
     avg_latency_s: float
     p99_latency_s: float
+    #: streaming latency quantiles (DDSketch-backed, ~1 % relative error) —
+    #: the bench harness diffs these without re-running the simulation
+    p50_latency_s: float = 0.0
+    p95_latency_s: float = 0.0
     #: committed per tick, for time-series plots
     commit_series: np.ndarray = field(default_factory=lambda: np.zeros(0))
     #: pool occupancy per tick (congestion evidence)

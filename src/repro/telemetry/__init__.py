@@ -26,6 +26,7 @@ from repro.telemetry.logconfig import configure_logging, verbosity_to_level
 from repro.telemetry.registry import (
     COUNT_BUCKETS,
     DEFAULT_BUCKETS,
+    EXEMPLAR_RING,
     Counter,
     Gauge,
     Histogram,
@@ -39,11 +40,19 @@ from repro.telemetry.registry import (
     use_registry,
 )
 from repro.telemetry.timing import stopwatch, timed
-from repro.telemetry.tracing import Tracer, event, get_tracer, set_tracer, span
+from repro.telemetry.tracing import (
+    Tracer,
+    current_span_id,
+    event,
+    get_tracer,
+    set_tracer,
+    span,
+)
 
 __all__ = [
     "COUNT_BUCKETS",
     "DEFAULT_BUCKETS",
+    "EXEMPLAR_RING",
     "Counter",
     "Gauge",
     "Histogram",
@@ -52,6 +61,7 @@ __all__ = [
     "Tracer",
     "bind",
     "configure_logging",
+    "current_span_id",
     "disable",
     "enable",
     "event",

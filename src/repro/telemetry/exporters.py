@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import math
+import re
 
 from repro.telemetry.registry import (
     Counter,
@@ -32,10 +33,36 @@ def _escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+_LABEL_NAME_OK = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+_LABEL_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _sanitize_label_name(name) -> str:
+    """Coerce a label *name* into Prometheus's ``[a-zA-Z_][a-zA-Z0-9_]*``.
+
+    Label values are escaped, but names cannot be — exposition offers no
+    quoting for them — so anything invalid is mapped onto the legal
+    charset instead of emitting a dump no scraper can parse.
+    """
+    name = str(name)
+    if _LABEL_NAME_OK.match(name):
+        return name
+    name = _LABEL_NAME_BAD_CHARS.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
 def _fmt_labels(labels: dict, extra: "dict | None" = None) -> str:
-    merged = dict(labels)
-    if extra:
-        merged.update(extra)
+    merged: dict = {}
+    for source in (labels, extra or {}):
+        for key, value in source.items():
+            key = _sanitize_label_name(key)
+            if key in merged:
+                raise ValueError(
+                    f"duplicate label name {key!r} after merge/sanitization"
+                )
+            merged[key] = value
     if not merged:
         return ""
     inner = ",".join(
@@ -100,7 +127,7 @@ def _scalar_json(target) -> dict:
 
 
 def _histogram_json(target: Histogram) -> dict:
-    return {
+    out = {
         "labels": dict(target._labels),
         "count": target.count,
         "sum": target.sum,
@@ -115,6 +142,9 @@ def _histogram_json(target: Histogram) -> dict:
             for b, c in target.cumulative_buckets()
         ],
     }
+    if target.exemplars:
+        out["exemplars"] = list(target.exemplars)
+    return out
 
 
 def to_json(registry: "MetricsRegistry | None" = None) -> dict:

@@ -16,35 +16,59 @@ monotonic time.
 
 from __future__ import annotations
 
+import itertools
 import json
 import time
 from contextlib import contextmanager, nullcontext
 from typing import Iterator
 
-__all__ = ["Tracer", "get_tracer", "set_tracer", "span", "event"]
+__all__ = [
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "event",
+    "current_span_id",
+]
 
 
 class Tracer:
-    """Buffering trace recorder; cheap no-op while disabled."""
+    """Buffering trace recorder; cheap no-op while disabled.
+
+    Every span gets a deterministic ID (``s1``, ``s2``, … in start order)
+    and the tracer keeps the stack of currently-open spans, so other
+    subsystems — histogram exemplars, notably — can link an observation
+    back to the span that produced it via :attr:`current_span_id`.
+    """
 
     def __init__(self, *, enabled: bool = True, clock=time.monotonic):
         self.enabled = enabled
         self._clock = clock
         self._t0 = clock()
         self._records: list[dict] = []
+        self._next_span = itertools.count(1)
+        self._stack: list[str] = []
 
     # -- recording -------------------------------------------------------------
 
     def now(self) -> float:
         return self._clock() - self._t0
 
+    @property
+    def current_span_id(self) -> "str | None":
+        """ID of the innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
     def event(self, name: str, **attrs) -> None:
-        """Record a point event."""
+        """Record a point event (tagged with the enclosing span, if any)."""
         if not self.enabled:
             return
-        self._records.append(
-            {"ts": round(self.now(), 6), "type": "event", "name": name, "attrs": attrs}
-        )
+        record = {
+            "ts": round(self.now(), 6), "type": "event", "name": name, "attrs": attrs
+        }
+        if self._stack:
+            record["span_id"] = self._stack[-1]
+        self._records.append(record)
 
     @contextmanager
     def span(self, name: str, **attrs) -> Iterator[dict]:
@@ -53,20 +77,26 @@ class Tracer:
         if not self.enabled:
             yield attrs
             return
+        span_id = f"s{next(self._next_span)}"
+        parent_id = self._stack[-1] if self._stack else None
+        self._stack.append(span_id)
         start = self.now()
         try:
             yield attrs
         finally:
             end = self.now()
-            self._records.append(
-                {
-                    "ts": round(start, 6),
-                    "type": "span",
-                    "name": name,
-                    "dur": round(end - start, 6),
-                    "attrs": attrs,
-                }
-            )
+            self._stack.pop()
+            record = {
+                "ts": round(start, 6),
+                "type": "span",
+                "name": name,
+                "span_id": span_id,
+                "dur": round(end - start, 6),
+                "attrs": attrs,
+            }
+            if parent_id is not None:
+                record["parent_id"] = parent_id
+            self._records.append(record)
 
     # -- access / export -------------------------------------------------------
 
@@ -77,6 +107,10 @@ class Tracer:
     def clear(self) -> None:
         self._records.clear()
         self._t0 = self._clock()
+        # Restart span IDs so repeated captured runs produce identical
+        # traces (and exemplar span references) for identical work.
+        self._next_span = itertools.count(1)
+        self._stack.clear()
 
     def dumps(self) -> str:
         """The whole trace as JSONL (one record per line, ts-ordered)."""
@@ -116,3 +150,9 @@ def event(name: str, **attrs) -> None:
     tracer = _default_tracer
     if tracer.enabled:
         tracer.event(name, **attrs)
+
+
+def current_span_id() -> "str | None":
+    """ID of the global tracer's innermost open span (None when idle)."""
+    tracer = _default_tracer
+    return tracer._stack[-1] if (tracer.enabled and tracer._stack) else None

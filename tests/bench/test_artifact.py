@@ -1,0 +1,96 @@
+"""Artifact schema, validation, and save/load round trips."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    ARTIFACT_SCHEMA,
+    BenchArtifact,
+    artifact_filename,
+    environment_fingerprint,
+    validate_artifact,
+)
+
+
+def _artifact(**overrides) -> BenchArtifact:
+    kwargs = dict(
+        scenario="demo",
+        description="a demo scenario",
+        seed=3,
+        headline={"throughput_tps": 123.4, "commit_rate": 0.99},
+        metrics={
+            "srbb_demo_total": {
+                "type": "counter", "help": "", "samples": [{"labels": {}, "value": 5.0}],
+            }
+        },
+        env=environment_fingerprint(wall_time_s=1.25),
+    )
+    kwargs.update(overrides)
+    return BenchArtifact(**kwargs)
+
+
+class TestFingerprint:
+    def test_required_fields_present(self):
+        env = environment_fingerprint(wall_time_s=0.5)
+        for key in ("python", "platform", "host", "created_utc", "wall_time_s"):
+            assert key in env
+        assert env["wall_time_s"] == 0.5
+        # git_sha is best-effort but the key must exist
+        assert "git_sha" in env
+
+
+class TestValidation:
+    def test_valid_artifact_has_no_problems(self):
+        assert validate_artifact(_artifact().to_dict()) == []
+
+    def test_non_dict_rejected(self):
+        assert validate_artifact([1, 2]) != []
+
+    def test_wrong_schema_flagged(self):
+        doc = _artifact().to_dict()
+        doc["schema"] = "repro.bench/v0"
+        assert any("schema" in p for p in validate_artifact(doc))
+
+    def test_missing_sections_flagged(self):
+        doc = _artifact().to_dict()
+        del doc["headline"]
+        assert any("headline" in p for p in validate_artifact(doc))
+
+    def test_non_numeric_headline_flagged(self):
+        doc = _artifact().to_dict()
+        doc["headline"]["oops"] = "fast"
+        assert any("oops" in p for p in validate_artifact(doc))
+        doc["headline"]["oops"] = True  # bools are not benchmark numbers
+        assert any("oops" in p for p in validate_artifact(doc))
+
+    def test_missing_env_keys_flagged(self):
+        doc = _artifact().to_dict()
+        del doc["env"]["python"]
+        assert any("python" in p for p in validate_artifact(doc))
+
+    def test_malformed_metric_entry_flagged(self):
+        doc = _artifact().to_dict()
+        doc["metrics"]["bad"] = {"value": 3}
+        assert any("bad" in p for p in validate_artifact(doc))
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        art = _artifact()
+        path = tmp_path / artifact_filename("demo")
+        art.save(str(path))
+        loaded = BenchArtifact.load(str(path))
+        assert loaded.scenario == "demo"
+        assert loaded.headline == art.headline
+        assert loaded.metrics == art.metrics
+        assert loaded.schema == ARTIFACT_SCHEMA
+
+    def test_load_rejects_invalid(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"schema": "nope"}))
+        with pytest.raises(ValueError, match="invalid bench artifact"):
+            BenchArtifact.load(str(path))
+
+    def test_filename_convention(self):
+        assert artifact_filename("tvpr_ablation") == "BENCH_tvpr_ablation.json"

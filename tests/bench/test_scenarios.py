@@ -1,0 +1,50 @@
+"""Scenario registry API and (cheap) end-to-end determinism."""
+
+import pytest
+
+from repro.bench import (
+    cheapest_scenarios,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+    validate_artifact,
+)
+
+
+class TestRegistry:
+    def test_expected_scenarios_registered(self):
+        names = scenario_names()
+        for expected in (
+            "tvpr_ablation", "table1_dapp", "saturation_sweep", "fault_injection"
+        ):
+            assert expected in names
+
+    def test_unknown_scenario_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="tvpr_ablation"):
+            get_scenario("no_such_scenario")
+
+    def test_cheapest_scenarios_are_tick_engine(self):
+        cheap = cheapest_scenarios(2)
+        assert len(cheap) == 2
+        assert all(get_scenario(n).cost_rank <= 1 for n in cheap)
+        ranks = [get_scenario(n).cost_rank for n in cheap]
+        assert ranks == sorted(ranks)
+
+    def test_scenarios_have_descriptions_and_seeds(self):
+        for name in scenario_names():
+            s = get_scenario(name)
+            assert s.description
+            assert isinstance(s.seed, int)
+
+
+class TestRunCheapScenario:
+    """End-to-end run of the cheapest scenario (tick engine, ~0.1s)."""
+
+    def test_tvpr_ablation_deterministic_and_valid(self):
+        a = run_scenario("tvpr_ablation")
+        b = run_scenario("tvpr_ablation")
+        # identical headline dicts: the property the regression gate needs
+        assert a.headline == b.headline
+        assert validate_artifact(a.to_dict()) == []
+        assert a.headline["srbb_throughput_tps"] > 0
+        assert a.headline["throughput_ratio"] > 1.0  # SRBB beats EVM baseline

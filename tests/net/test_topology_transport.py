@@ -110,6 +110,34 @@ class TestNetwork:
         assert net.stats.bytes == 150
         assert net.stats.by_kind["k"] == [2, 150]
 
+    def test_stats_track_region_pairs(self):
+        from repro.telemetry import MetricsRegistry, to_json, use_registry
+
+        with use_registry(MetricsRegistry(enabled=True)) as reg:
+            sim = Simulator()
+            topo = global_topology(4)  # nodes land in distinct regions
+            net = Network(sim, topo)
+            for i in range(4):
+                net.register(i, Sink())
+            net.send(0, 1, Message(kind="consensus", payload=None, sender=0,
+                                   size_bytes=100))
+            net.broadcast(0, Message(kind="gossip", payload=None, sender=0,
+                                     size_bytes=10))
+            src = topo.region_of(0)
+            dst = topo.region_of(1)
+            assert net.stats.by_region[(src, dst)][0] == 2  # send + broadcast
+            assert net.stats.by_region[(src, src)][0] == 1  # loopback leg
+            snap = to_json(reg)["srbb_net_messages_total"]
+            labeled = {
+                (s["labels"]["kind"], s["labels"]["src_region"],
+                 s["labels"]["dst_region"]): s["value"]
+                for s in snap["samples"] if s["labels"]
+            }
+            assert labeled[("consensus", src, dst)] == 1
+            assert labeled[("gossip", src, src)] == 1
+            # region-pair children partition the total: no double counting
+            assert sum(labeled.values()) == net.stats.messages
+
     def test_larger_messages_arrive_later(self):
         sim, net, sinks = self._net(jitter_s=0.0, bandwidth_bytes_per_s=1000.0)
         arrivals = {}

@@ -57,6 +57,39 @@ class TestPrometheus:
         samples = parse_prometheus(to_prometheus(reg))
         assert samples[("c_total", (("err", 'bad "quote"'),))] == 1
 
+    def test_hostile_label_values_round_trip(self):
+        hostile = {
+            "quotes": 'she said "hi"',
+            "backslash": r"C:\temp\new",
+            "newline": "line1\nline2",
+            "mixed": 'a\\"b\nc',
+        }
+        reg = MetricsRegistry()
+        for key, value in hostile.items():
+            reg.counter(f"{key}_total").labels(v=value).inc()
+        samples = parse_prometheus(to_prometheus(reg))
+        for key, value in hostile.items():
+            assert samples[(f"{key}_total", (("v", value),))] == 1
+
+    def test_label_names_sanitized_to_legal_charset(self):
+        # names can't be quoted in exposition format, so they get mapped
+        reg = MetricsRegistry()
+        reg.counter("c_total").labels(**{"src.region": "x"}).inc()
+        text = to_prometheus(reg)
+        assert 'src_region="x"' in text
+        assert "src.region" not in text
+
+    def test_digit_leading_label_name_prefixed(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").labels(**{"0bad": "x"}).inc()
+        assert '_0bad="x"' in to_prometheus(reg)
+
+    def test_duplicate_label_names_after_sanitization_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").labels(**{"a.b": "x", "a_b": "y"}).inc()
+        with pytest.raises(ValueError, match="duplicate label name"):
+            to_prometheus(reg)
+
     def test_parser_rejects_malformed(self):
         with pytest.raises(ValueError):
             parse_prometheus("no-value-here")
@@ -91,6 +124,27 @@ class TestJson:
         reg.histogram("h_seconds")
         sample = to_json(reg)["h_seconds"]["samples"][0]
         assert sample["min"] is None and sample["max"] is None
+
+    def test_exemplars_exported_when_traced(self):
+        from repro.telemetry import Tracer, set_tracer
+
+        reg = MetricsRegistry()
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            with tracer.span("commit"):
+                reg.histogram("h_seconds").observe(0.7)
+        finally:
+            set_tracer(previous)
+        sample = to_json(reg)["h_seconds"]["samples"][0]
+        (ex,) = sample["exemplars"]
+        assert ex["value"] == 0.7 and ex["span_id"] == "s1"
+        json.dumps(sample)  # stays serializable
+
+    def test_no_exemplars_key_without_tracing(self):
+        reg = MetricsRegistry()
+        reg.histogram("h_seconds").observe(0.7)
+        assert "exemplars" not in to_json(reg)["h_seconds"]["samples"][0]
 
 
 class TestWriteMetrics:

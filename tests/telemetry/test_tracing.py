@@ -82,6 +82,60 @@ class TestTracer:
         assert tracer.records[0]["ts"] == 0.0
 
 
+class TestSpanIds:
+    def test_deterministic_ids_and_parent_links(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        with tracer.span("second"):
+            pass
+        by_name = {r["name"]: r for r in tracer.records}
+        assert by_name["outer"]["span_id"] == "s1"
+        assert by_name["inner"]["span_id"] == "s2"
+        assert by_name["inner"]["parent_id"] == "s1"
+        assert "parent_id" not in by_name["outer"]
+        assert by_name["second"]["span_id"] == "s3"
+
+    def test_events_tagged_with_enclosing_span(self):
+        tracer = Tracer()
+        tracer.event("orphan")
+        with tracer.span("work"):
+            tracer.event("child")
+        by_name = {r["name"]: r for r in tracer.records}
+        assert "span_id" not in by_name["orphan"]
+        assert by_name["child"]["span_id"] == "s1"
+
+    def test_current_span_id_tracks_stack(self):
+        tracer = Tracer()
+        assert tracer.current_span_id is None
+        with tracer.span("a"):
+            assert tracer.current_span_id == "s1"
+            with tracer.span("b"):
+                assert tracer.current_span_id == "s2"
+            assert tracer.current_span_id == "s1"
+        assert tracer.current_span_id is None
+
+    def test_clear_restarts_span_numbering(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        tracer.clear()
+        with tracer.span("again"):
+            pass
+        assert tracer.records[0]["span_id"] == "s1"
+
+    def test_module_level_current_span_id(self):
+        fresh = Tracer()
+        previous = set_tracer(fresh)
+        try:
+            assert telemetry.current_span_id() is None
+            with telemetry.span("s"):
+                assert telemetry.current_span_id() == "s1"
+        finally:
+            set_tracer(previous)
+
+
 class TestGlobalTracer:
     def test_default_disabled(self):
         assert not get_tracer().enabled

@@ -23,6 +23,14 @@ class TestParser:
         # parseable examples
         parser.parse_args(["simulate", "srbb", "fifa", "--scale", "0.5"])
         parser.parse_args(["table1", "--scale", "0.1"])
+        parser.parse_args(["bench", "run", "tvpr_ablation", "--out-dir", "/tmp"])
+        parser.parse_args(["bench", "list"])
+        parser.parse_args(["bench", "compare", "a.json", "b.json"])
+        parser.parse_args(["metrics-diff", "a.json", "b.json", "--max-rows", "5"])
+
+    def test_bench_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
 
 
 class TestExecution:
@@ -45,6 +53,35 @@ class TestExecution:
         assert main(["watch", "srbb", "uber", "--scale", "0.2", "--width", "30"]) == 0
         out = capsys.readouterr().out
         assert "commits/s" in out and "pool" in out
+
+    def test_bench_list(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "tvpr_ablation" in out and "[ci]" in out
+
+    def test_bench_run_and_metrics_diff(self, tmp_path, capsys):
+        assert main(["bench", "run", "tvpr_ablation",
+                     "--out-dir", str(tmp_path)]) == 0
+        artifact = tmp_path / "BENCH_tvpr_ablation.json"
+        assert artifact.exists()
+        # identical artifacts gate clean (exit 0)
+        assert main(["metrics-diff", str(artifact), str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "no thresholded metric regressed" in out
+
+    def test_metrics_diff_flags_regression(self, tmp_path, capsys):
+        import json
+
+        main(["bench", "run", "tvpr_ablation", "--out-dir", str(tmp_path)])
+        capsys.readouterr()
+        artifact = tmp_path / "BENCH_tvpr_ablation.json"
+        doc = json.loads(artifact.read_text())
+        doc["headline"]["srbb_throughput_tps"] *= 0.5
+        worse = tmp_path / "worse.json"
+        worse.write_text(json.dumps(doc))
+        assert main(["metrics-diff", str(artifact), str(worse)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "srbb_throughput_tps" in out
 
     def test_report_to_file(self, tmp_path, capsys):
         target = tmp_path / "report.md"
