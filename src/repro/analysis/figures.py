@@ -165,24 +165,30 @@ def table1(
     return results[0], results[1]
 
 
-def _run_flooding(
+def flooding_deployment(
     *,
     valid_count: int,
     invalid_count: int,
     send_rate_tps: float,
     flood_per_block: int,
     rpm: bool,
-    horizon_s: float,
     seed: int,
-) -> Table1Row:
+    vote_batching: bool = True,
+):
+    """Build the §V-B flooding deployment plus its valid-load schedule.
+
+    Exposed separately from :func:`_run_flooding` so ablation scenarios
+    (vote batching on/off in particular) can build the *identical*
+    deployment — same seeds, same pre-signed transactions — and drive it
+    themselves.  Returns ``(deployment, schedule)``.
+    """
     from repro.adversary import FloodingValidator
     from repro.core.deployment import Deployment
-    from repro.diablo.benchmark import DiabloBenchmark
-    from repro.diablo.client import LoadSchedule, RoundRobinSubmitter
+    from repro.diablo.client import LoadSchedule
     from repro.net.topology import single_region_topology
     from repro.workloads.synthetic import factory_balances, transfer_request_factory
 
-    protocol = params.ProtocolParams(n=4, rpm=rpm)
+    protocol = params.ProtocolParams(n=4, rpm=rpm, vote_batching=vote_batching)
     factory = transfer_request_factory(clients=32, seed=seed + 7_000)
     deployment = Deployment(
         protocol=protocol,
@@ -210,6 +216,30 @@ def _run_flooding(
         send_time = i / send_rate_tps
         txs.append(factory(i, send_time))
     schedule = LoadSchedule.from_transactions(txs, name="table1-valid")
+    return deployment, schedule
+
+
+def _run_flooding(
+    *,
+    valid_count: int,
+    invalid_count: int,
+    send_rate_tps: float,
+    flood_per_block: int,
+    rpm: bool,
+    horizon_s: float,
+    seed: int,
+) -> Table1Row:
+    from repro.diablo.benchmark import DiabloBenchmark
+    from repro.diablo.client import RoundRobinSubmitter
+
+    deployment, schedule = flooding_deployment(
+        valid_count=valid_count,
+        invalid_count=invalid_count,
+        send_rate_tps=send_rate_tps,
+        flood_per_block=flood_per_block,
+        rpm=rpm,
+        seed=seed,
+    )
     bench = DiabloBenchmark(
         deployment, submitter=RoundRobinSubmitter(targets=(0, 1, 2))
     )

@@ -82,6 +82,14 @@ DEFAULT_THRESHOLDS: "tuple[Threshold, ...]" = (
     Threshold("*commit_rate*", "higher", 5.0),
     Threshold("headline:*_ratio", "higher", 5.0),
     Threshold("headline:rpm_gain", "higher", 5.0, abs_slack=0.02),
+    # -- vote-batching ablation: safety is binary (1.0 means the batched
+    # and unbatched arms decided byte-identical superblocks), the
+    # reduction factors must not erode
+    Threshold("headline:chains_identical", "higher", 0.0),
+    Threshold("headline:message_reduction", "higher", 5.0),
+    Threshold("headline:net_bytes_reduction", "higher", 5.0),
+    Threshold("headline:votes_per_batch_avg", "higher", 10.0),
+    Threshold("headline:*_consensus_msgs", "lower", 10.0, abs_slack=20.0),
     Threshold("*txs_committed_total*", "higher", 5.0, abs_slack=1.0),
     # -- lower is better: latency (simulated time only; quantiles only —
     # a histogram's :count/:sum grow with *more commits*, which is good)

@@ -62,7 +62,9 @@ class ReliableBroadcast:
         self.f = f
         self.my_id = my_id
         self.index = index
-        self._broadcast = broadcast
+        #: outgoing-message sink — a VoteBatcher when the owning node
+        #: batches votes (ECHO/READY coalesce; SEND always goes direct).
+        self.sink = broadcast
         self._on_deliver = on_deliver
         self._slots: dict[int, _SlotState] = {}
 
@@ -74,7 +76,7 @@ class ReliableBroadcast:
     def _send(self, kind: MsgKind, instance: int, value: Any) -> None:
         if self.passive:
             return
-        self._broadcast(
+        self.sink(
             ConsensusMessage(
                 kind=kind,
                 index=self.index,

@@ -111,7 +111,11 @@ class BinaryConsensus:
         self.my_id = my_id
         self.index = index
         self.instance = instance
-        self._broadcast = broadcast
+        #: outgoing-message sink.  Direct harnesses pass the wire broadcast;
+        #: a ValidatorNode interposes a :class:`~repro.consensus.batching.
+        #: VoteBatcher` here so per-round BVAL/AUX/COORD votes coalesce into
+        #: one BATCH wire message per tick instead of going out one by one.
+        self.sink = broadcast
         self._on_decide = on_decide
 
         self.est: int | None = None
@@ -193,7 +197,7 @@ class BinaryConsensus:
     def _send(self, kind: MsgKind, round_: int, value: int) -> None:
         if self.passive:
             return
-        self._broadcast(
+        self.sink(
             ConsensusMessage(
                 kind=kind,
                 index=self.index,

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any
+from typing import Any, Iterator
+
+#: fixed per-message envelope: kind + index + instance + round + sender + auth
+BASE_MESSAGE_BYTES = 64
 
 
 class MsgKind(Enum):
@@ -16,6 +19,34 @@ class MsgKind(Enum):
     RBC_SEND = "rbc-send"
     RBC_ECHO = "rbc-echo"
     RBC_READY = "rbc-ready"
+    # vote batching (one wire message carrying many of the above)
+    BATCH = "batch"
+
+
+def _payload_size(value: Any) -> int:
+    """Approximate encoded size of one message payload, in bytes.
+
+    Handles every payload shape the protocols put on the wire: raw bytes
+    (digests), objects exposing ``encoded_size`` (blocks, transactions),
+    scalars, and — crucially for RBC ECHO/READY, whose payload is a
+    ``(digest, block-or-None)`` tuple — containers of *mixed* element
+    types, each element sized recursively.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if hasattr(value, "encoded_size"):
+        return int(value.encoded_size())
+    if isinstance(value, (tuple, list)):
+        return sum(_payload_size(v) for v in value)
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return max(1, (value.bit_length() + 7) // 8)
+    if isinstance(value, str):
+        return len(value.encode())
+    return BASE_MESSAGE_BYTES  # unknown payloads: charge a full envelope
 
 
 @dataclass(frozen=True)
@@ -24,8 +55,8 @@ class ConsensusMessage:
 
     ``index`` is the chain index (consensus iteration k), ``instance`` the
     per-proposer binary instance id (or the RBC broadcaster id), ``round``
-    the binary-consensus round, ``value`` the payload (0/1 estimate, or the
-    RBC payload/digest).
+    the binary-consensus round, ``value`` the payload (0/1 estimate, the
+    RBC payload/digest, or a :class:`ConsensusBatch` for ``BATCH``).
     """
 
     kind: MsgKind
@@ -37,12 +68,51 @@ class ConsensusMessage:
 
     def approx_size(self) -> int:
         """Rough wire size in bytes for traffic accounting."""
-        base = 64
-        value = self.value
-        if isinstance(value, (bytes, bytearray)):
-            return base + len(value)
-        if hasattr(value, "encoded_size"):
-            return base + value.encoded_size()
-        if isinstance(value, tuple) and value and hasattr(value[0], "encoded_size"):
-            return base + sum(v.encoded_size() for v in value)
-        return base
+        if isinstance(self.value, ConsensusBatch):
+            # The batch *is* the wire encoding — no outer envelope copy.
+            return self.value.approx_size()
+        return BASE_MESSAGE_BYTES + _payload_size(self.value)
+
+
+@dataclass(frozen=True)
+class ConsensusBatch:
+    """Coalesced consensus traffic: every vote one node emitted in one tick.
+
+    On the wire the batch shares a single envelope (sender, authentication)
+    across all constituent messages, so each vote costs only its compact
+    ``(kind, index, instance, round, value)`` record plus any structured
+    payload bytes it carries — the saving the paper's congestion argument
+    (§III) wants at the vote layer.
+    """
+
+    messages: "tuple[ConsensusMessage, ...]"
+    sender: int
+
+    #: shared batch envelope: sender, auth tag, message count
+    HEADER_BYTES = 32
+    #: compact per-vote record: kind tag + index + instance + round varints
+    PER_MESSAGE_BYTES = 12
+
+    def __post_init__(self) -> None:
+        if not self.messages:
+            raise ValueError("a ConsensusBatch must carry at least one message")
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __iter__(self) -> "Iterator[ConsensusMessage]":
+        return iter(self.messages)
+
+    def approx_size(self) -> int:
+        """Wire size: one shared envelope + compact per-vote records."""
+        return self.HEADER_BYTES + sum(
+            self.PER_MESSAGE_BYTES + _payload_size(m.value) for m in self.messages
+        )
+
+    def standalone_size(self) -> int:
+        """What the constituents would have cost sent individually."""
+        return sum(m.approx_size() for m in self.messages)
+
+    def bytes_saved(self) -> int:
+        """Wire bytes avoided by batching (never negative)."""
+        return max(0, self.standalone_size() - self.approx_size())

@@ -62,6 +62,17 @@ def _build_metrics(reg: telemetry.MetricsRegistry) -> SimpleNamespace:
 _metrics = telemetry.bind(_build_metrics)
 
 
+def record_wire_kind(kind: MsgKind) -> None:
+    """Count one received consensus *wire* message of ``kind``.
+
+    ``srbb_consensus_messages_total`` counts what actually crossed the
+    wire: a vote batch increments the ``BATCH`` child once, and its
+    constituents — delivered with ``record=False`` — are not re-counted
+    (that is precisely the reduction the batching headline measures).
+    """
+    _metrics().by_kind[kind].inc()
+
+
 class SuperBlockConsensus:
     """Per-node driver for one consensus iteration (chain index)."""
 
@@ -134,10 +145,25 @@ class SuperBlockConsensus:
             if not instance.has_input:
                 instance.propose(0)
 
-    def on_message(self, msg: ConsensusMessage) -> None:
+    def on_message(self, msg: ConsensusMessage, *, record: bool = True) -> None:
+        """Feed one consensus message (or a whole vote batch) to this index.
+
+        ``record=False`` skips the wire-message counter — used for batch
+        constituents, whose *batch* was already counted once.
+        """
+        if msg.kind is MsgKind.BATCH:
+            # Standalone users (tests, single-index harnesses) may loop a
+            # batch straight back in; unpack in emission order.  Node-level
+            # callers unpack earlier so they can route across indexes.
+            if record:
+                record_wire_kind(msg.kind)
+            for constituent in msg.value:
+                self.on_message(constituent, record=False)
+            return
         if msg.index != self.index:
             return
-        _metrics().by_kind[msg.kind].inc()
+        if record:
+            _metrics().by_kind[msg.kind].inc()
         if msg.kind in _RBC_KINDS:
             self.rbc.on_message(msg)
         else:

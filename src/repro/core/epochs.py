@@ -23,8 +23,7 @@ from repro.consensus.messages import ConsensusMessage
 from repro.consensus.superblock import SuperBlockConsensus
 from repro.core.block import Block, make_block
 from repro.core.deployment import Deployment
-from repro.core.node import CONSENSUS_KIND, ValidatorNode
-from repro.net.transport import Message
+from repro.core.node import ValidatorNode
 
 
 @dataclass(frozen=True)
@@ -102,20 +101,21 @@ class ReconfigurableNode(ValidatorNode):
 
     # -- message authentication -------------------------------------------------------
 
-    def on_message(self, msg: Message) -> None:
-        if msg.kind == CONSENSUS_KIND:
-            cmsg: ConsensusMessage = msg.payload
-            committee = self._committee(cmsg.index)
-            # logical-sender authenticity: the network sender (authentic)
-            # must own the claimed committee slot
-            if not (
-                0 <= cmsg.sender < len(committee)
-                and committee[cmsg.sender] == msg.sender
-            ):
-                return  # spoofed or non-member traffic: drop
-            self._consensus_for(cmsg.index).on_message(cmsg)
-        else:
-            super().on_message(msg)
+    def _dispatch_consensus(
+        self, cmsg: ConsensusMessage, wire_sender: int, *, record: bool = True
+    ) -> None:
+        """Authenticated dispatch: applied per message — and therefore per
+        batch constituent, since a batch may span indexes whose committees
+        assign the same physical node *different* logical slots."""
+        committee = self._committee(cmsg.index)
+        # logical-sender authenticity: the network sender (authentic)
+        # must own the claimed committee slot
+        if not (
+            0 <= cmsg.sender < len(committee)
+            and committee[cmsg.sender] == wire_sender
+        ):
+            return  # spoofed or non-member traffic: drop
+        self._consensus_for(cmsg.index).on_message(cmsg, record=record)
 
     # -- proposing ----------------------------------------------------------------------
 

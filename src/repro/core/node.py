@@ -35,8 +35,9 @@ from repro.core.rpm import RPMContract, certificate_payload, report_payload
 from repro.core.transaction import Transaction, make_invoke
 from repro.core.txpool import TxPool
 from repro.core.validation import eager_validate
-from repro.consensus.messages import ConsensusMessage
-from repro.consensus.superblock import SuperBlockConsensus
+from repro.consensus.batching import VoteBatcher
+from repro.consensus.messages import ConsensusMessage, MsgKind
+from repro.consensus.superblock import SuperBlockConsensus, record_wire_kind
 from repro.crypto.keys import KeyPair
 from repro.net.gossip import GossipLayer
 from repro.net.simulator import Simulator
@@ -46,7 +47,13 @@ from repro.vm.state import WorldState
 
 #: error codes whose presence in a committed block indicts the proposer
 REPORTABLE_ERRORS = frozenset(
-    {"invalid-sig", "oversized", "insufficient-balance", "insufficient-gas"}
+    {
+        "invalid-sig",
+        "oversized",
+        "insufficient-balance",
+        "insufficient-gas",
+        "exceeds-block-gas",
+    }
 )
 
 #: wire kinds
@@ -206,6 +213,16 @@ class ValidatorNode:
         self.gossip = GossipLayer(
             node_id, network, self._deliver_gossiped_tx
         )
+        #: coalescing sink between the consensus instances and the wire:
+        #: every batchable vote emitted within one tick goes out as a
+        #: single BATCH broadcast (protocol.vote_batching gates it)
+        self.vote_batcher = VoteBatcher(
+            node_id=node_id,
+            sink=self._send_consensus_wire,
+            sim=sim,
+            tick=protocol.vote_batch_tick,
+            enabled=protocol.vote_batching,
+        )
         network.register(node_id, self)
 
     # -- identity helpers ---------------------------------------------------------
@@ -327,6 +344,12 @@ class ValidatorNode:
         return self._consensus[index]
 
     def _broadcast_consensus(self, msg: ConsensusMessage) -> None:
+        """Consensus-side emission: route through the vote batcher."""
+        self.vote_batcher.submit(msg)
+
+    def _send_consensus_wire(self, msg: ConsensusMessage) -> None:
+        """Wire-side emission: one Message per (possibly batched) payload."""
+        votes = len(msg.value) if msg.kind is MsgKind.BATCH else 1
         self.network.broadcast(
             self.node_id,
             Message(
@@ -334,6 +357,7 @@ class ValidatorNode:
                 payload=msg,
                 sender=self.node_id,
                 size_bytes=msg.approx_size(),
+                count=votes,
             ),
         )
 
@@ -349,11 +373,32 @@ class ValidatorNode:
             # Filtering either class deadlocks a lagging replica (see
             # tests/integration/test_late_delivery.py and
             # tests/diablo/test_runner.py histories).
-            self._consensus_for(cmsg.index).on_message(cmsg)
+            if cmsg.kind is MsgKind.BATCH:
+                # One wire message, many votes: count the batch once, then
+                # feed constituents to their (index, instance) in emission
+                # order.  Constituents may span chain indexes.
+                record_wire_kind(MsgKind.BATCH)
+                for constituent in cmsg.value:
+                    self._dispatch_consensus(
+                        constituent, msg.sender, record=False
+                    )
+            else:
+                self._dispatch_consensus(cmsg, msg.sender)
         elif msg.kind == GossipLayer.KIND:
             self.gossip.handle(msg)
         elif msg.kind == TX_KIND:
             self.submit_transaction(msg.payload)
+
+    def _dispatch_consensus(
+        self, cmsg: ConsensusMessage, wire_sender: int, *, record: bool = True
+    ) -> None:
+        """Route one (unpacked) consensus message to its chain index.
+
+        ``wire_sender`` is the transport-level sender — subclasses that
+        authenticate logical senders against committee slots (epochs)
+        override this and check each batch constituent individually.
+        """
+        self._consensus_for(cmsg.index).on_message(cmsg, record=record)
 
     # -- decision & commit (Alg. 1 lines 18-31) ------------------------------------------------
 

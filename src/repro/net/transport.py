@@ -35,6 +35,10 @@ _metrics = telemetry.bind(
         bytes=reg.counter(
             "srbb_net_bytes_total", "bytes sent over the simulated network"
         ),
+        logical=reg.counter(
+            "srbb_net_logical_messages_total",
+            "logical messages sent (batch constituents counted individually)",
+        ),
         children={},  # lazily-filled ((kind, src, dst) -> (messages, bytes))
     )
 )
@@ -52,12 +56,18 @@ def _traffic_children(m: SimpleNamespace, kind: str, src_region: str, dst_region
 
 @dataclass(frozen=True)
 class Message:
-    """Envelope for anything sent over the simulated network."""
+    """Envelope for anything sent over the simulated network.
+
+    ``count`` is the number of *logical* messages this envelope carries —
+    1 for ordinary traffic, the constituent-vote count for a consensus
+    BATCH — so traffic stats can report both wire and logical volume.
+    """
 
     kind: str
     payload: Any
     sender: int
     size_bytes: int = 256
+    count: int = 1
     msg_id: int = field(default_factory=itertools.count().__next__)
 
 
@@ -86,6 +96,9 @@ class NetStats:
 
     messages: int = 0
     bytes: int = 0
+    #: batch-aware volume: constituents of batched envelopes counted
+    #: individually (messages counts wire envelopes; logical >= messages)
+    logical_messages: int = 0
     by_kind: dict = field(default_factory=dict)
     #: per-sender [messages, bytes] — who is spending the network
     by_sender: dict = field(default_factory=dict)
@@ -98,6 +111,7 @@ class NetStats:
     ) -> None:
         self.messages += 1
         self.bytes += msg.size_bytes
+        self.logical_messages += msg.count
         kind = self.by_kind.setdefault(msg.kind, [0, 0])
         kind[0] += 1
         kind[1] += msg.size_bytes
@@ -107,8 +121,10 @@ class NetStats:
         region = self.by_region.setdefault((src_region, dst_region), [0, 0])
         region[0] += 1
         region[1] += msg.size_bytes
+        m = _metrics()
+        m.logical.inc(msg.count)
         msgs_child, bytes_child = _traffic_children(
-            _metrics(), msg.kind, src_region, dst_region
+            m, msg.kind, src_region, dst_region
         )
         msgs_child.inc()
         bytes_child.inc(msg.size_bytes)

@@ -28,7 +28,6 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.transaction import Transaction
 from repro.crypto.hashing import hash_items
-from repro.crypto.keys import recover_check
 from repro.errors import (
     InsufficientBalance,
     InsufficientGas,
@@ -146,11 +145,14 @@ class Executor:
 
     def _apply(self, tx: "Transaction", coinbase: str) -> Receipt:
         from repro.core.transaction import TxType
+        from repro.core.validation import check_signature
 
         # Execution-time checks (i) signature and (ii) size — §IV-D.
+        # ``check_signature`` caches positive verdicts, so a tx already
+        # eagerly validated by this process skips the recovery here.
         if tx.signature is None or tx.public_key is None:
             raise InvalidSignature("unsigned transaction")
-        if not recover_check(tx.public_key, tx.signing_payload(), tx.signature, tx.sender):
+        if not check_signature(tx):
             raise InvalidSignature("signature does not recover sender")
         if tx.encoded_size() > self.protocol.max_tx_size:
             raise OversizedTransaction(

@@ -15,7 +15,8 @@ class TestRegistry:
     def test_expected_scenarios_registered(self):
         names = scenario_names()
         for expected in (
-            "tvpr_ablation", "table1_dapp", "saturation_sweep", "fault_injection"
+            "tvpr_ablation", "table1_dapp", "saturation_sweep",
+            "fault_injection", "vote_batching_ablation",
         ):
             assert expected in names
 

@@ -1,0 +1,111 @@
+"""Per-round send bounds for binary DBFT — the batching premise.
+
+Vote batching only pays off because each instance's per-round traffic is
+small and bounded; these tests pin the bounds so a regression (say, a
+re-echo loop) cannot silently multiply vote volume and masquerade as a
+batching win:
+
+* BVAL — at most one send per (round, value), hence ≤ 2 per round;
+* AUX — at most one send per round;
+* COORD — at most one send per round, only from the round's coordinator;
+* after deciding, a node goes silent once the grace window lapses.
+"""
+
+from collections import Counter, deque
+
+import pytest
+
+from repro.consensus.dbft import GRACE_ROUNDS, BinaryConsensus
+from repro.consensus.messages import MsgKind
+
+
+def run_instances(inputs, *, coin="parity", lifo=False):
+    """Drive one binary instance per node to termination, recording every
+    send together with the sender's decision state at send time."""
+    n, f = len(inputs), (len(inputs) - 1) // 3
+    nodes, queue, sent, decisions = [], deque(), [], {}
+
+    def make_sink(i):
+        def sink(msg):
+            node = nodes[i]
+            sent.append((i, msg, node.decided, node._decided_round))
+            queue.append(msg)
+        return sink
+
+    for i in range(n):
+        nodes.append(
+            BinaryConsensus(
+                n=n, f=f, my_id=i, index=1, instance=0,
+                broadcast=make_sink(i),
+                on_decide=lambda inst, v, i=i: decisions.setdefault(i, v),
+                coin=coin,
+            )
+        )
+    for node, value in zip(nodes, inputs):
+        node.propose(value)
+    while queue:
+        msg = queue.pop() if lifo else queue.popleft()
+        for node in nodes:  # broadcast includes loopback
+            node.on_message(msg)
+    return nodes, sent, decisions
+
+
+INPUT_PATTERNS = [
+    [1, 1, 1, 1],
+    [0, 0, 0, 0],
+    [0, 1, 0, 1],
+    [1, 0, 0, 0],
+    [0, 1, 1, 1],
+]
+
+
+@pytest.mark.parametrize("inputs", INPUT_PATTERNS)
+@pytest.mark.parametrize("lifo", [False, True])
+def test_per_round_send_bounds(inputs, lifo):
+    nodes, sent, decisions = run_instances(inputs, lifo=lifo)
+
+    assert len(decisions) == len(inputs)  # everyone terminated
+    assert len(set(decisions.values())) == 1  # agreement
+
+    bval = Counter()
+    aux = Counter()
+    coord = Counter()
+    for sender, msg, _, _ in sent:
+        if msg.kind is MsgKind.BVAL:
+            bval[(sender, msg.round, msg.value)] += 1
+        elif msg.kind is MsgKind.AUX:
+            aux[(sender, msg.round)] += 1
+        elif msg.kind is MsgKind.COORD:
+            coord[(sender, msg.round)] += 1
+            # only the round's weak coordinator may suggest
+            assert sender == (msg.round - 1) % len(inputs)
+
+    assert all(c == 1 for c in bval.values())  # ≤ 1 per (round, value)
+    per_round_bval = Counter()
+    for (sender, round_, _value), c in bval.items():
+        per_round_bval[(sender, round_)] += c
+    assert all(c <= 2 for c in per_round_bval.values())  # ≤ 2 per round
+    assert all(c == 1 for c in aux.values())  # ≤ 1 AUX per round
+    assert all(c == 1 for c in coord.values())  # ≤ 1 COORD per round
+
+
+@pytest.mark.parametrize("inputs", INPUT_PATTERNS)
+def test_silent_after_grace_window(inputs):
+    _, sent, _ = run_instances(inputs)
+    for sender, msg, decided_at_send, decided_round in sent:
+        if decided_at_send is not None:
+            # a decided node only helps laggards within the grace window
+            assert msg.round <= decided_round + GRACE_ROUNDS, (
+                f"node {sender} sent {msg.kind} for round {msg.round} "
+                f"after deciding in round {decided_round}"
+            )
+
+
+@pytest.mark.parametrize("inputs", INPUT_PATTERNS)
+def test_hash_coin_keeps_bounds(inputs):
+    nodes, sent, decisions = run_instances(inputs, coin="hash")
+    assert len(set(decisions.values())) == 1
+    aux = Counter(
+        (s, m.round) for s, m, _, _ in sent if m.kind is MsgKind.AUX
+    )
+    assert all(c == 1 for c in aux.values())

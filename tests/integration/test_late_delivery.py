@@ -33,7 +33,10 @@ def test_slow_rbc_block_recycles_and_commits():
         return delay_scale * (((src * 31 + dst * 17 + int(now * 10)) % 7) / 3.0)
 
     deployment = Deployment(
-        protocol=params.ProtocolParams(n=4, rpm=False),
+        # vote_batching=False: this test replays the exact pre-batching
+        # falsifying schedule; batching shifts vote timing enough that no
+        # proposer is voted out at all (nothing left to recycle).
+        protocol=params.ProtocolParams(n=4, rpm=False, vote_batching=False),
         topology=single_region_topology(4),
         extra_balances=balances,
         seed=0,
