@@ -4,7 +4,7 @@ Three pieces, mirroring how the paper argues (DIABLO curves, Table I):
 
 * :mod:`repro.bench.scenarios` — a registry of named, deterministic
   canonical runs (TVPR ablation, Table-I dapp mix, saturation sweep,
-  fault injection), each a seeded config over the existing engines;
+  weak validator, chaos soak), each a seeded config over the existing engines;
 * :mod:`repro.bench.runner` — executes scenarios with telemetry enabled
   and writes schema-versioned ``BENCH_<scenario>.json`` artifacts
   (headline stats + full metrics snapshot + environment fingerprint);
@@ -33,7 +33,13 @@ from repro.bench.compare import (
     render_comparison,
 )
 from repro.bench.runner import run_scenario, run_scenarios
-from repro.bench.scenarios import Scenario, cheapest_scenarios, get_scenario, scenario_names
+from repro.bench.scenarios import (
+    Scenario,
+    cheapest_scenarios,
+    get_scenario,
+    run_chaos_soak,
+    scenario_names,
+)
 
 __all__ = [
     "ARTIFACT_SCHEMA",
@@ -51,6 +57,7 @@ __all__ = [
     "flatten_doc",
     "get_scenario",
     "render_comparison",
+    "run_chaos_soak",
     "run_scenario",
     "run_scenarios",
     "scenario_names",

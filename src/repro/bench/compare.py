@@ -86,6 +86,13 @@ DEFAULT_THRESHOLDS: "tuple[Threshold, ...]" = (
     # and unbatched arms decided byte-identical superblocks), the
     # reduction factors must not erode
     Threshold("headline:chains_identical", "higher", 0.0),
+    # -- chaos soak: safety is binary, recovery time must not balloon --------
+    Threshold("headline:safety_holds", "higher", 0.0),
+    Threshold("headline:state_roots_match", "higher", 0.0),
+    Threshold("headline:states_agree", "higher", 0.0),
+    Threshold("headline:rpm_nonce_survived", "higher", 0.0),
+    Threshold("headline:recovery_time_s", "lower", 25.0, abs_slack=1.0),
+    Threshold("headline:retransmissions_total", "lower", 10.0, abs_slack=20.0),
     Threshold("headline:message_reduction", "higher", 5.0),
     Threshold("headline:net_bytes_reduction", "higher", 5.0),
     Threshold("headline:votes_per_batch_avg", "higher", 10.0),

@@ -172,6 +172,13 @@ class VoteBatcher:
             )
         )
 
+    def drop_pending(self) -> int:
+        """Discard buffered votes (the owning node crashed); returns the
+        number dropped.  An already-scheduled flush then no-ops."""
+        dropped = len(self._buffer)
+        self._buffer.clear()
+        return dropped
+
     @property
     def pending(self) -> int:
         """Messages buffered but not yet flushed."""

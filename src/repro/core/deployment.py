@@ -18,6 +18,7 @@ from repro.core.node import ValidatorNode
 from repro.core.rpm import RPMContract
 from repro.core.transaction import Transaction
 from repro.crypto.keys import KeyPair, generate_keypair
+from repro.faults import FaultController, FaultSchedule
 from repro.net.simulator import Simulator
 from repro.net.topology import Topology, single_region_topology
 from repro.net.transport import Network, PartialSynchrony
@@ -78,6 +79,8 @@ class Deployment:
         seed: int = 1,
         timing: PartialSynchrony | None = None,
         execution_rate: float = 20_000.0,
+        net_params: params.NetParams | None = None,
+        fault_schedule: FaultSchedule | None = None,
     ):
         self.protocol = protocol or params.ProtocolParams()
         n = self.protocol.n
@@ -88,7 +91,7 @@ class Deployment:
             )
         self.sim = Simulator()
         self.network = Network(
-            self.sim, self.topology, seed=seed, timing=timing
+            self.sim, self.topology, seed=seed, timing=timing, net=net_params
         )
         self.keypairs = [generate_keypair(1000 + i) for i in range(n)]
         addresses = tuple(kp.address for kp in self.keypairs)
@@ -132,6 +135,12 @@ class Deployment:
             self.validators.append(node)
         self.byzantine_ids = frozenset(byzantine)
 
+        #: armed chaos engine (None unless a fault schedule was given)
+        self.fault_controller: FaultController | None = None
+        if fault_schedule is not None:
+            self.fault_controller = FaultController(self, fault_schedule)
+            self.fault_controller.install()
+
     # -- helpers --------------------------------------------------------------------
 
     @property
@@ -151,6 +160,17 @@ class Deployment:
             node.submit_transaction(tx)
         else:
             self.sim.schedule_at(at, node.submit_transaction, tx)
+
+    def crash(self, node_id: int) -> None:
+        """Crash one validator: transport eats its traffic, volatile state
+        is lost (the :class:`~repro.faults.FaultController` calls this)."""
+        self.network.set_down(node_id, True)
+        self.validators[node_id].crash()
+
+    def restart(self, node_id: int) -> None:
+        """Bring a crashed validator back; it catches up from peers."""
+        self.network.set_down(node_id, False)
+        self.validators[node_id].restart()
 
     def run_until(self, time: float, *, max_events: int | None = None) -> None:
         self.sim.run_until(time, max_events=max_events)

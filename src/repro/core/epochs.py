@@ -107,6 +107,8 @@ class ReconfigurableNode(ValidatorNode):
         """Authenticated dispatch: applied per message — and therefore per
         batch constituent, since a batch may span indexes whose committees
         assign the same physical node *different* logical slots."""
+        if not self._admit_consensus(cmsg, wire_sender, record=record):
+            return  # crash–recovery gate (buffered or replay-covered)
         committee = self._committee(cmsg.index)
         # logical-sender authenticity: the network sender (authentic)
         # must own the claimed committee slot

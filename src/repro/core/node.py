@@ -30,6 +30,7 @@ from typing import Callable
 from repro import params, telemetry
 from repro.core.block import Block, SuperBlock, make_block
 from repro.core.blockchain import Blockchain
+from repro.core.catchup import CatchupRequest, CatchupResponse, DecidedJournal
 from repro.core.receipts import ReceiptStore
 from repro.core.rpm import RPMContract, certificate_payload, report_payload
 from repro.core.transaction import Transaction, make_invoke
@@ -39,11 +40,13 @@ from repro.consensus.batching import VoteBatcher
 from repro.consensus.messages import ConsensusMessage, MsgKind
 from repro.consensus.superblock import SuperBlockConsensus, record_wire_kind
 from repro.crypto.keys import KeyPair
+from repro.faults.watchdog import LivenessWatchdog
 from repro.net.gossip import GossipLayer
 from repro.net.simulator import Simulator
 from repro.net.transport import Message, Network
 from repro.vm.executor import install_native, native_address_for
 from repro.vm.state import WorldState
+from repro.vm.sync import SyncError, restore_snapshot, take_snapshot
 
 #: error codes whose presence in a committed block indicts the proposer
 REPORTABLE_ERRORS = frozenset(
@@ -59,6 +62,11 @@ REPORTABLE_ERRORS = frozenset(
 #: wire kinds
 TX_KIND = "tx"
 CONSENSUS_KIND = "consensus"
+CATCHUP_REQ_KIND = "catchup-req"
+CATCHUP_RESP_KIND = "catchup-resp"
+
+#: cap on consensus messages buffered while a restarted node catches up
+CATCHUP_BUFFER_LIMIT = 10_000
 
 logger = logging.getLogger("repro.core.node")
 
@@ -210,6 +218,33 @@ class ValidatorNode:
         #: addresses excluded after RPM slashing (Alg. 2 line 42 listeners)
         self.excluded_validators: set[str] = set()
 
+        # -- crash–recovery state ------------------------------------------------
+        #: durable record of decided superblocks + RPM nonce high-water mark
+        self.journal = DecidedJournal()
+        self._crashed = False
+        #: bumped on every crash/restart; scheduled callbacks from an older
+        #: incarnation are silently invalidated
+        self._incarnation = 0
+        #: restarted and waiting for a catch-up response to converge
+        self._recovering = False
+        #: consensus indices below this were decided before the crash; the
+        #: catch-up replay covers them (0 for never-crashed nodes, so the
+        #: deliberate no-staleness-filter below is untouched)
+        self._catchup_floor = 0
+        #: consensus traffic received mid-recovery, replayed once converged
+        self._catchup_buffer: "list[tuple[ConsensusMessage, int, bool]]" = []
+        self.last_commit_time = 0.0
+        #: stall detector (chaos runs only): flags a wedged node and nudges
+        #: recovery by re-broadcasting the catch-up request
+        self.watchdog: "LivenessWatchdog | None" = None
+        if protocol.watchdog_stall_rounds > 0:
+            self.watchdog = LivenessWatchdog(
+                node_id=node_id,
+                sim=sim,
+                stall_after_s=protocol.watchdog_stall_rounds * round_interval,
+                on_stall=self._send_catchup_request,
+            )
+
         self.gossip = GossipLayer(
             node_id, network, self._deliver_gossiped_tx
         )
@@ -236,12 +271,137 @@ class ValidatorNode:
 
     def start(self) -> None:
         """Kick off round 1 after one round interval."""
-        self.sim.schedule(self.round_interval, self._start_round, 1)
+        self._schedule(self.round_interval, self._start_round, 1)
+        if self.watchdog is not None:
+            self.watchdog.start()
+
+    def _schedule(self, delay: float, callback: Callable[..., None], *args):
+        """Schedule a callback bound to the node's current incarnation.
+
+        A crash invalidates everything the pre-crash incarnation had in
+        flight (rounds, timeouts, follow-up commits) without hunting down
+        individual simulator events.
+        """
+        incarnation = self._incarnation
+
+        def _guarded() -> None:
+            if self.crashed or self._incarnation != incarnation:
+                return
+            callback(*args)
+
+        return self.sim.schedule(delay, _guarded)
+
+    # -- crash–recovery ------------------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        """Is the node down?  A property so crash-*stop* adversaries (the
+        legacy ``CrashValidator``) can override it with a time predicate."""
+        return self._crashed
+
+    def crash(self) -> None:
+        """Halt the node: volatile state is lost, durable state survives.
+
+        Volatile: the pool, in-flight consensus instances, undrained
+        pending superblocks, the vote batcher's buffer, gossip dedup, the
+        in-memory RPM nonce cursor.  Durable: the blockchain (chain +
+        state), receipts, and the :class:`DecidedJournal`.
+        """
+        if self.crashed:
+            return
+        self._crashed = True
+        self._incarnation += 1
+        self.pool = TxPool(
+            capacity=self.protocol.txpool_capacity, ttl=self.protocol.tx_ttl
+        )
+        self._consensus.clear()
+        self._pending_superblocks.clear()
+        self._proposed.clear()
+        self.vote_batcher.drop_pending()
+        self.gossip.reset()
+        self._rpm_nonce = None
+        self._recovering = False
+        self._catchup_buffer.clear()
+        if self.watchdog is not None:
+            self.watchdog.stop()
+        telemetry.event(
+            "node.crash",
+            node=self.node_id,
+            height=self.blockchain.height,
+            next_index=self._next_commit_index,
+            sim_now=self.sim.now,
+        )
+        logger.info(
+            "node %d crashed at t=%.3f (commit frontier %d)",
+            self.node_id, self.sim.now, self._next_commit_index,
+        )
+
+    def restart(self) -> None:
+        """Bring a crashed node back; it recovers via catch-up.
+
+        The node re-enters with only its durable state, asks live peers
+        for the superblocks it missed, and stays in ``_recovering`` —
+        buffering (not dropping) incoming consensus traffic — until a
+        response converges its chain with a peer's verified state root.
+        """
+        if not self.crashed:
+            return
+        self._crashed = False
+        self._incarnation += 1
+        self._recovering = True
+        self._catchup_floor = self._next_commit_index
+        self._refresh_exclusions()
+        telemetry.event(
+            "node.restart",
+            node=self.node_id,
+            next_index=self._next_commit_index,
+            sim_now=self.sim.now,
+        )
+        logger.info(
+            "node %d restarting at t=%.3f (commit frontier %d)",
+            self.node_id, self.sim.now, self._next_commit_index,
+        )
+        if self.watchdog is not None:
+            self.watchdog.resume()
+        self._send_catchup_request()
+
+    def _send_catchup_request(self) -> None:
+        """Broadcast ``CATCHUP_REQ`` for everything past our frontier.
+
+        Broadcast (rather than one sampled peer) so a single request
+        survives up to f crashed peers; redundant responses are cheap —
+        superblocks already applied are skipped on arrival.  Also the
+        watchdog's ``on_stall`` nudge, so a node wedged behind a healed
+        partition re-solicits until it converges.
+        """
+        if self.crashed:
+            return
+        req = CatchupRequest(
+            next_index=self._next_commit_index, requester=self.node_id
+        )
+        telemetry.event(
+            "node.catchup_request",
+            node=self.node_id,
+            next_index=req.next_index,
+            sim_now=self.sim.now,
+        )
+        self.network.broadcast(
+            self.node_id,
+            Message(
+                kind=CATCHUP_REQ_KIND,
+                payload=req,
+                sender=self.node_id,
+                size_bytes=req.approx_size(),
+            ),
+            include_self=False,
+        )
 
     # -- Alg. 1 receive(t) -----------------------------------------------------------
 
     def submit_transaction(self, tx: Transaction) -> bool:
         """Entry point for client submissions (Reception stage, §IV-C)."""
+        if self.crashed:
+            return False
         self.stats.txs_from_clients += 1
         return self._receive(tx, from_peer=False)
 
@@ -281,7 +441,7 @@ class ValidatorNode:
         self.stats.blocks_proposed += 1
         consensus = self._consensus_for(index)
         consensus.propose(block)
-        self.sim.schedule(
+        self._schedule(
             self.proposer_timeout, self._round_timeout, index
         )
 
@@ -349,6 +509,8 @@ class ValidatorNode:
 
     def _send_consensus_wire(self, msg: ConsensusMessage) -> None:
         """Wire-side emission: one Message per (possibly batched) payload."""
+        if self.crashed:
+            return  # a dead process emits nothing
         votes = len(msg.value) if msg.kind is MsgKind.BATCH else 1
         self.network.broadcast(
             self.node_id,
@@ -363,6 +525,8 @@ class ValidatorNode:
 
     def on_message(self, msg: Message) -> None:
         """Network endpoint entry point."""
+        if self.crashed:
+            return  # dead hosts hear nothing (the transport drops too)
         if msg.kind == CONSENSUS_KIND:
             cmsg: ConsensusMessage = msg.payload
             # NO staleness filter, deliberately: a node that already
@@ -388,6 +552,35 @@ class ValidatorNode:
             self.gossip.handle(msg)
         elif msg.kind == TX_KIND:
             self.submit_transaction(msg.payload)
+        elif msg.kind == CATCHUP_REQ_KIND:
+            self._serve_catchup(msg.payload)
+        elif msg.kind == CATCHUP_RESP_KIND:
+            self._absorb_catchup(msg.payload)
+
+    def _admit_consensus(
+        self, cmsg: ConsensusMessage, wire_sender: int, *, record: bool
+    ) -> bool:
+        """Crash–recovery gate in front of consensus dispatch.
+
+        While a restarted node is still catching up it must not open
+        fresh consensus instances for indices that are mid-flight — it
+        would first have to decide where its chain ends, which is exactly
+        what the catch-up is determining.  Constituents (batched or not)
+        referencing indices at or past the restart frontier are
+        *buffered* and replayed once recovery converges; traffic for
+        indices the pre-crash incarnation already committed is covered by
+        the journal replay and dropped.  For a never-crashed node the
+        floor is 0 and recovery is off, so this is a no-op and the
+        deliberate no-staleness-filter above keeps serving lagging
+        replicas.
+        """
+        if cmsg.index < self._catchup_floor:
+            return False
+        if self._recovering:
+            if len(self._catchup_buffer) < CATCHUP_BUFFER_LIMIT:
+                self._catchup_buffer.append((cmsg, wire_sender, record))
+            return False
+        return True
 
     def _dispatch_consensus(
         self, cmsg: ConsensusMessage, wire_sender: int, *, record: bool = True
@@ -398,6 +591,8 @@ class ValidatorNode:
         authenticate logical senders against committee slots (epochs)
         override this and check each batch constituent individually.
         """
+        if not self._admit_consensus(cmsg, wire_sender, record=record):
+            return
         self._consensus_for(cmsg.index).on_message(cmsg, record=record)
 
     # -- decision & commit (Alg. 1 lines 18-31) ------------------------------------------------
@@ -416,6 +611,10 @@ class ValidatorNode:
             coinbase_of=self.coinbase_of,
             exec_rate=self.execution_rate,
         )
+        self.journal.record(superblock)
+        self.last_commit_time = self.sim.now
+        if self.watchdog is not None:
+            self.watchdog.notify_commit()
         self.stats.superblocks_committed += 1
         self.stats.txs_committed += len(result.committed)
         self.stats.txs_discarded += len(result.discarded)
@@ -465,7 +664,7 @@ class ValidatorNode:
         next_index = superblock.index + 1
         if next_index > self._next_propose_index:
             self._next_propose_index = next_index
-        self.sim.schedule(
+        self._schedule(
             self.round_interval + execution_delay, self._start_round, next_index
         )
 
@@ -478,13 +677,188 @@ class ValidatorNode:
                 self.pool.add(tx, now=self.sim.now)
                 self.stats.recycled_from_undecided += 1
 
+    # -- catch-up protocol -------------------------------------------------------------------
+
+    def _serve_catchup(self, req: CatchupRequest) -> None:
+        """Answer a peer's ``CATCHUP_REQ`` from our journal + live state.
+
+        A node that is itself recovering is not a sync source; a request
+        at or past our own frontier still gets an (empty) response — its
+        snapshot root lets a requester that missed nothing confirm
+        convergence immediately.
+        """
+        if self._recovering or req.requester == self.node_id:
+            return
+        if req.next_index > self._next_commit_index:
+            return  # the requester is ahead of us; nothing useful to say
+        superblocks = self.journal.range(req.next_index, self._next_commit_index)
+        snapshot = take_snapshot(
+            self.blockchain.state, height=self.blockchain.height
+        )
+        resp = CatchupResponse(
+            superblocks=superblocks,
+            snapshot=snapshot,
+            state_root=self.blockchain.state.state_root(),
+            next_index=self._next_commit_index,
+            responder=self.node_id,
+        )
+        telemetry.event(
+            "node.catchup_serve",
+            node=self.node_id,
+            requester=req.requester,
+            superblocks=len(superblocks),
+            next_index=resp.next_index,
+            sim_now=self.sim.now,
+        )
+        self.network.send(
+            self.node_id,
+            req.requester,
+            Message(
+                kind=CATCHUP_RESP_KIND,
+                payload=resp,
+                sender=self.node_id,
+                size_bytes=resp.approx_size(),
+            ),
+        )
+
+    def _absorb_catchup(self, resp: CatchupResponse) -> None:
+        """Apply a ``CATCHUP_RESP``: replay missed superblocks in order.
+
+        Replay runs the deterministic commit loop so the chain keeps the
+        exact block hashes peers have (safety checks compare prefixes),
+        with RPM invocations skipped — the node must not re-attest blocks
+        its peers attested while it was down.  A recovering node finishes
+        recovery once its frontier reaches the responder's and the
+        responder's snapshot-verified state root matches its own; a
+        tampered snapshot or diverging root rejects the response (one
+        honest responder eventually converges us).
+        """
+        if self.crashed:
+            return
+        if self._recovering:
+            # Verify the snapshot anchor *before* replaying anything from
+            # this responder: restore_snapshot raises on a root mismatch,
+            # which catches in-flight tampering.
+            try:
+                restore_snapshot(resp.snapshot, expected_root=resp.state_root)
+            except SyncError as exc:
+                telemetry.event(
+                    "node.catchup_rejected",
+                    node=self.node_id,
+                    responder=resp.responder,
+                    reason=str(exc),
+                    sim_now=self.sim.now,
+                )
+                logger.warning(
+                    "node %d rejecting catch-up from %d: %s",
+                    self.node_id, resp.responder, exc,
+                )
+                return
+        applied = 0
+        for superblock in resp.superblocks:
+            if superblock.index != self._next_commit_index:
+                continue  # already applied (racing responses) or future gap
+            self._apply_catchup_superblock(superblock)
+            applied += 1
+        if self._recovering:
+            if self._next_commit_index == resp.next_index:
+                if self.blockchain.state.state_root() != resp.state_root:
+                    telemetry.event(
+                        "node.catchup_root_mismatch",
+                        node=self.node_id,
+                        responder=resp.responder,
+                        index=self._next_commit_index,
+                        sim_now=self.sim.now,
+                    )
+                    logger.error(
+                        "node %d: replayed to index %d but state root differs "
+                        "from responder %d — staying in recovery",
+                        self.node_id, self._next_commit_index, resp.responder,
+                    )
+                    return
+                self._finish_recovery()
+        elif applied:
+            # A stalled (but never-crashed) node caught up past rounds it
+            # was starved out of; rejoin proposing at the new frontier.
+            telemetry.event(
+                "node.catchup_absorbed",
+                node=self.node_id,
+                responder=resp.responder,
+                applied=applied,
+                next_index=self._next_commit_index,
+                sim_now=self.sim.now,
+            )
+            next_index = self._next_commit_index
+            if next_index > self._next_propose_index:
+                self._next_propose_index = next_index
+            self._schedule(self.round_interval, self._start_round, next_index)
+
+    def _apply_catchup_superblock(self, superblock: SuperBlock) -> None:
+        """Commit one replayed superblock: the `_commit` path minus RPM,
+        exclusions refresh and round scheduling (done once at the end of
+        recovery), so replay is fast and side-effect-free."""
+        result = self.blockchain.commit_superblock(
+            superblock,
+            now=self.sim.now,
+            coinbase_of=self.coinbase_of,
+            exec_rate=self.execution_rate,
+        )
+        self.journal.record(superblock)
+        self.last_commit_time = self.sim.now
+        if self.watchdog is not None:
+            self.watchdog.notify_commit()
+        self.stats.superblocks_committed += 1
+        self.stats.txs_committed += len(result.committed)
+        self.stats.txs_discarded += len(result.discarded)
+        receipts_by_hash = {r.tx_hash: r for r in result.receipts if r.success}
+        for appended in result.appended_blocks:
+            self.receipts.record_block(
+                appended, receipts_by_hash, commit_time=self.sim.now
+            )
+        self.pool.remove_hashes({tx.tx_hash for tx in result.committed})
+        self._next_commit_index += 1
+
+    def _finish_recovery(self) -> None:
+        """Converged with a peer: leave recovery and rejoin consensus."""
+        self._recovering = False
+        self._refresh_exclusions()
+        buffered, self._catchup_buffer = self._catchup_buffer, []
+        replayed = 0
+        for cmsg, wire_sender, record in buffered:
+            if cmsg.index < self._next_commit_index:
+                continue  # decided while we were buffering; replay covered it
+            self._dispatch_consensus(cmsg, wire_sender, record=record)
+            replayed += 1
+        next_index = max(self._next_commit_index, self._next_propose_index)
+        self._next_propose_index = next_index
+        telemetry.event(
+            "node.recovered",
+            node=self.node_id,
+            next_index=next_index,
+            buffered_replayed=replayed,
+            sim_now=self.sim.now,
+        )
+        logger.info(
+            "node %d recovered at t=%.3f: frontier %d, %d buffered messages "
+            "replayed", self.node_id, self.sim.now, self._next_commit_index,
+            replayed,
+        )
+        self._schedule(self.round_interval, self._start_round, next_index)
+
     # -- RPM integration ---------------------------------------------------------------------
 
     def _rpm_next_nonce(self) -> int:
         if self._rpm_nonce is None:
+            # (Re)start continuation point: the committed state nonce.
+            # Attestations issued pre-crash but never committed died with
+            # the volatile pool, so their nonces are free to reuse;
+            # committed ones advanced the account nonce, which the
+            # catch-up replay restored — so nonces survive a restart.
             self._rpm_nonce = self.blockchain.state.nonce_of(self.address)
         nonce = self._rpm_nonce
         self._rpm_nonce += 1
+        # Durable high-water mark of issued nonces (crash-audit evidence).
+        self.journal.rpm_nonce = self._rpm_nonce
         return nonce
 
     def _invoke_rpm(

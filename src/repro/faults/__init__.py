@@ -1,0 +1,25 @@
+"""``repro.faults`` — the deterministic chaos engine (crash–recovery PR).
+
+* :class:`FaultSchedule` / :class:`FaultEvent` — declarative, seeded
+  fault timelines (crash, restart, drop, duplicate, reorder, partition).
+* :class:`FaultController` — applies a schedule to a live deployment:
+  clock-driven crash/restart plus the transport's link-fault model.
+* :class:`LivenessWatchdog` — per-node stall detector separating "slow"
+  from "wedged" in chaos runs.
+
+Which fault *model* (delay-only, lossy-link, crash–recovery) preserves
+which protocol guarantee is documented in ``docs/FAULTS.md`` and in the
+:mod:`repro.net.faults` module docstring.
+"""
+
+from repro.faults.controller import FaultController
+from repro.faults.schedule import EVENT_KINDS, FaultEvent, FaultSchedule
+from repro.faults.watchdog import LivenessWatchdog
+
+__all__ = [
+    "EVENT_KINDS",
+    "FaultController",
+    "FaultEvent",
+    "FaultSchedule",
+    "LivenessWatchdog",
+]

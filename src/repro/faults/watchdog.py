@@ -1,0 +1,128 @@
+"""Per-node liveness watchdog: distinguish *slow* from *wedged*.
+
+Chaos runs need to tell a node that is merely behind (catching up, or on
+the slow side of a healed partition) from one that has stopped making
+progress entirely.  The watchdog samples a node's commit clock every
+``check_interval_s``; if no superblock committed for ``stall_after_s``
+the node is flagged — the ``srbb_node_wedged{node=}`` gauge flips to 1,
+a ``watchdog.stall`` trace event fires, and the optional ``on_stall``
+callback runs (the validator uses it to re-broadcast a catch-up
+request).  The first commit after a stall clears the gauge and emits
+``watchdog.recovered``.
+
+Created only when ``ProtocolParams.watchdog_stall_rounds > 0`` so
+default deployments schedule no extra events and register no extra
+metrics (checked-in baselines stay byte-identical).
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Callable
+
+from repro import telemetry
+
+__all__ = ["LivenessWatchdog"]
+
+_metrics = telemetry.bind(
+    lambda reg: SimpleNamespace(
+        wedged=reg.gauge(
+            "srbb_node_wedged",
+            "1 while a node's liveness watchdog considers it stalled",
+        ),
+        stalls=reg.counter(
+            "srbb_node_stalls_total", "liveness watchdog stall detections"
+        ),
+    )
+)
+
+
+class LivenessWatchdog:
+    """Stall detector driven by the simulation clock.
+
+    ``sim`` is duck-typed (``.now`` + ``.schedule``); ``node_id`` labels
+    the gauge; ``stall_after_s`` is typically ``k × round_interval`` for
+    the protocol's ``watchdog_stall_rounds = k``.
+    """
+
+    def __init__(
+        self,
+        *,
+        node_id: int,
+        sim,
+        stall_after_s: float,
+        check_interval_s: "float | None" = None,
+        on_stall: "Callable[[], None] | None" = None,
+    ):
+        if stall_after_s <= 0:
+            raise ValueError(f"stall_after_s must be > 0, got {stall_after_s}")
+        self.node_id = node_id
+        self.sim = sim
+        self.stall_after_s = stall_after_s
+        self.check_interval_s = check_interval_s or stall_after_s / 2.0
+        self.on_stall = on_stall
+        self.last_commit_at = 0.0
+        self.stalled = False
+        self.stall_count = 0
+        self._running = False
+        self._gauge = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.last_commit_at = self.sim.now
+        self._gauge = _metrics().wedged.labels(node=str(self.node_id))
+        self.sim.schedule(self.check_interval_s, self._check)
+
+    def stop(self) -> None:
+        """Pause checks (crashed nodes are down, not wedged)."""
+        self._running = False
+        if self.stalled:
+            self.stalled = False
+            if self._gauge is not None:
+                self._gauge.set(0)
+
+    def resume(self) -> None:
+        """Re-arm after a restart with a fresh commit clock."""
+        self.last_commit_at = self.sim.now
+        if not self._running:
+            self._running = True
+            self.sim.schedule(self.check_interval_s, self._check)
+
+    # -- signals ------------------------------------------------------------------
+
+    def notify_commit(self) -> None:
+        """The node committed a superblock: progress."""
+        self.last_commit_at = self.sim.now
+        if self.stalled:
+            self.stalled = False
+            self._gauge.set(0)
+            telemetry.event(
+                "watchdog.recovered", node=self.node_id, sim_now=self.sim.now,
+            )
+
+    # -- the check loop -----------------------------------------------------------
+
+    def _check(self) -> None:
+        if not self._running:
+            return
+        idle = self.sim.now - self.last_commit_at
+        if idle >= self.stall_after_s and not self.stalled:
+            self.stalled = True
+            self.stall_count += 1
+            m = _metrics()
+            self._gauge.set(1)
+            m.stalls.labels(node=str(self.node_id)).inc()
+            telemetry.event(
+                "watchdog.stall",
+                node=self.node_id, idle_s=round(idle, 4), sim_now=self.sim.now,
+            )
+            if self.on_stall is not None:
+                self.on_stall()
+        elif self.stalled and self.on_stall is not None:
+            # Still wedged on a later check: keep nudging recovery.
+            self.on_stall()
+        self.sim.schedule(self.check_interval_s, self._check)

@@ -116,3 +116,8 @@ class GossipLayer:
 
     def has_seen(self, item_id: object) -> bool:
         return item_id in self._seen
+
+    def reset(self) -> None:
+        """Forget dedup state (a crashed node's RAM); stats survive as
+        they model the analysis side, not the node."""
+        self._seen.clear()

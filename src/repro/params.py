@@ -90,6 +90,13 @@ class ProtocolParams:
     #: a single-region deployment coalesces enough of each round's votes
     #: for a >=10x wire-message reduction without altering decisions.
     vote_batch_tick: float = 0.1
+    #: Liveness watchdog: flag a node as wedged after this many round
+    #: intervals without a commit (0 disables the watchdog entirely, the
+    #: default, so fault-free baselines schedule no extra events).  A
+    #: stalled node re-broadcasts a catch-up request on each trip, which
+    #: is what lets a restarted replica converge even if its first
+    #: CATCHUP_RESP raced ongoing consensus rounds.
+    watchdog_stall_rounds: int = 0
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -104,6 +111,10 @@ class ProtocolParams:
             raise ValueError(
                 f"vote_batch_tick must be >= 0, got {self.vote_batch_tick}"
             )
+        if self.watchdog_stall_rounds < 0:
+            raise ValueError(
+                f"watchdog_stall_rounds must be >= 0, got {self.watchdog_stall_rounds}"
+            )
 
     @property
     def quorum(self) -> int:
@@ -111,6 +122,51 @@ class ProtocolParams:
         return self.n - self.f
 
     def with_(self, **changes) -> "ProtocolParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class NetParams:
+    """Transport-layer knobs: reliable delivery over lossy links.
+
+    All defaults keep the seed behavior byte-identical: the delay-only
+    partial-synchrony transport, no sequence numbers, no acks.  Chaos
+    scenarios flip ``reliable_delivery`` on so that injected loss and
+    duplication degrade to the delay-only model DBFT already tolerates
+    (a dropped message becomes a delayed one via retransmission; a
+    duplicated one is suppressed by the per-link sequence dedup).
+    """
+
+    #: per-link monotonic sequence numbers + ack/retransmit + dedup
+    reliable_delivery: bool = False
+    #: first retransmission fires after this many simulated seconds
+    retransmit_timeout_s: float = 0.6
+    #: exponential backoff factor applied per retry
+    retransmit_backoff: float = 2.0
+    #: retransmission attempts before the sender gives up.  A finite cap
+    #: keeps the event queue bounded when the peer is crashed; the
+    #: crash-recovery catch-up protocol (not the transport) is what
+    #: guarantees a restarted node converges.
+    retransmit_cap: int = 6
+    #: wire size charged per ACK control message
+    ack_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if self.retransmit_timeout_s <= 0:
+            raise ValueError(
+                f"retransmit_timeout_s must be > 0, got {self.retransmit_timeout_s}"
+            )
+        if self.retransmit_backoff < 1.0:
+            raise ValueError(
+                f"retransmit_backoff must be >= 1, got {self.retransmit_backoff}"
+            )
+        if self.retransmit_cap < 0:
+            raise ValueError(
+                f"retransmit_cap must be >= 0, got {self.retransmit_cap}"
+            )
+
+    def with_(self, **changes) -> "NetParams":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
 

@@ -16,9 +16,11 @@ class TestRegistry:
         names = scenario_names()
         for expected in (
             "tvpr_ablation", "table1_dapp", "saturation_sweep",
-            "fault_injection", "vote_batching_ablation",
+            "weak_validator", "vote_batching_ablation", "chaos_soak",
         ):
             assert expected in names
+        # renamed in the crash-recovery PR: a slow node is a delay fault
+        assert "fault_injection" not in names
 
     def test_unknown_scenario_raises_with_candidates(self):
         with pytest.raises(KeyError, match="tvpr_ablation"):

@@ -1,0 +1,101 @@
+"""Liveness watchdog: stall detection, recovery, crash pause/resume."""
+
+import pytest
+
+from repro.faults import LivenessWatchdog
+from repro.net.simulator import Simulator
+
+
+def make_watchdog(**kwargs):
+    sim = Simulator()
+    calls = []
+    kwargs.setdefault("stall_after_s", 2.0)
+    dog = LivenessWatchdog(
+        node_id=0, sim=sim, on_stall=lambda: calls.append(sim.now), **kwargs
+    )
+    return sim, dog, calls
+
+
+class TestStallDetection:
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError, match="> 0"):
+            LivenessWatchdog(node_id=0, sim=Simulator(), stall_after_s=0.0)
+
+    def test_no_stall_while_commits_flow(self):
+        sim, dog, calls = make_watchdog()
+        dog.start()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            sim.schedule_at(t, dog.notify_commit)
+        sim.run_until(5.0)
+        assert not dog.stalled
+        assert dog.stall_count == 0
+        assert calls == []
+
+    def test_silence_trips_the_watchdog_once(self):
+        sim, dog, calls = make_watchdog()
+        dog.start()
+        sim.run_until(10.0)
+        assert dog.stalled
+        assert dog.stall_count == 1  # one stall episode, not one per check
+        assert len(calls) >= 1
+
+    def test_keeps_nudging_while_wedged(self):
+        # on_stall re-fires on every later check until progress resumes —
+        # a single lost catch-up request must not wedge recovery forever.
+        sim, dog, calls = make_watchdog()
+        dog.start()
+        sim.run_until(10.0)
+        assert len(calls) >= 3
+
+    def test_commit_clears_the_stall(self):
+        sim, dog, calls = make_watchdog()
+        dog.start()
+        sim.run_until(5.0)
+        assert dog.stalled
+        sim.schedule_at(5.5, dog.notify_commit)
+        sim.run_until(6.0)
+        assert not dog.stalled
+        assert dog.stall_count == 1
+
+    def test_restall_counts_a_new_episode(self):
+        sim, dog, _ = make_watchdog()
+        dog.start()
+        sim.run_until(5.0)
+        sim.schedule_at(5.5, dog.notify_commit)
+        sim.run_until(20.0)  # silence again after the commit
+        assert dog.stall_count == 2
+
+
+class TestLifecycle:
+    def test_stop_pauses_checks_and_clears_the_flag(self):
+        sim, dog, calls = make_watchdog()
+        dog.start()
+        sim.run_until(5.0)
+        assert dog.stalled
+        dog.stop()
+        assert not dog.stalled  # down, not wedged
+        n = len(calls)
+        sim.run_until(30.0)
+        assert len(calls) == n  # no nudges while stopped
+
+    def test_resume_rearms_with_a_fresh_clock(self):
+        sim, dog, _ = make_watchdog()
+        dog.start()
+        sim.run_until(5.0)
+        dog.stop()
+        sim.run_until(12.0)
+        dog.resume()
+        assert dog.last_commit_at == 12.0  # downtime is not counted as idle
+        sim.run_until(13.0)
+        assert not dog.stalled
+        sim.run_until(20.0)
+        assert dog.stalled
+
+    def test_start_is_idempotent(self):
+        sim, dog, _ = make_watchdog(check_interval_s=1.0)
+        dog.start()
+        dog.start()
+        sim.schedule_at(0.5, dog.notify_commit)
+        sim.run_until(0.9)
+        # one check loop scheduled, not two
+        assert sim.pending == 1

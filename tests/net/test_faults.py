@@ -1,10 +1,17 @@
 """Delay strategies + their effect on live deployments."""
 
+import pytest
+
 from repro import params
 from repro.core.deployment import Deployment, fund_clients
 from repro.core.transaction import make_transfer
 from repro.net.faults import (
     combine,
+    combine_drops,
+    drop_rate,
+    duplicate_rate,
+    hard_partition,
+    is_drop_fn,
     no_delay,
     slow_nodes,
     soft_partition,
@@ -46,6 +53,85 @@ class TestStrategies:
     def test_combine(self):
         fn = combine(slow_nodes([0], 1.0), targeted_proposer_lag(0, 2.0))
         assert fn(0, 1, 0.0) == 3.0
+
+
+class TestDropStrategies:
+    """Model-2 (lossy-link) factories are probability-valued."""
+
+    def test_drop_rate_window_and_scope(self):
+        fn = drop_rate(0.3, nodes=[2], start=1.0, until=5.0)
+        assert fn(2, 0, 2.0) == 0.3
+        assert fn(0, 2, 2.0) == 0.3
+        assert fn(0, 1, 2.0) == 0.0  # doesn't touch node 2
+        assert fn(2, 0, 0.5) == 0.0  # before the window
+        assert fn(2, 0, 5.0) == 0.0  # window end is exclusive
+
+    def test_drop_rate_link_scope(self):
+        fn = drop_rate(0.5, links=[(0, 1)])
+        assert fn(0, 1, 0.0) == 0.5
+        assert fn(1, 0, 0.0) == 0.0  # directed
+
+    def test_drop_rate_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            drop_rate(1.5)
+
+    def test_duplicate_rate_window(self):
+        fn = duplicate_rate(0.2, until=3.0)
+        assert fn(0, 1, 1.0) == 0.2
+        assert fn(0, 1, 3.0) == 0.0
+
+    def test_hard_partition_severs_cross_group_until_heal(self):
+        fn = hard_partition([[0, 1], [2, 3]], at=2.0, heal_at=8.0)
+        assert fn(0, 2, 4.0) == 1.0
+        assert fn(0, 1, 4.0) == 0.0  # same island
+        assert fn(0, 2, 1.0) == 0.0  # before the partition
+        assert fn(0, 2, 8.0) == 0.0  # healed
+
+    def test_hard_partition_ungrouped_nodes_are_islands(self):
+        fn = hard_partition([[0, 1]], at=0.0)
+        assert fn(2, 3, 1.0) == 1.0  # two singleton islands
+        assert fn(0, 2, 1.0) == 1.0
+        assert fn(2, 2, 1.0) == 0.0  # loopback stays up
+
+    def test_hard_partition_validates_groups(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            hard_partition([[0, 1], [1, 2]])
+        with pytest.raises(ValueError, match="heal_at"):
+            hard_partition([[0], [1]], at=5.0, heal_at=2.0)
+
+    def test_drop_fns_are_tagged(self):
+        assert is_drop_fn(drop_rate(0.1))
+        assert is_drop_fn(duplicate_rate(0.1))
+        assert is_drop_fn(hard_partition([[0], [1]]))
+        assert not is_drop_fn(slow_nodes([0], 1.0))
+
+
+class TestComposition:
+    """One algebra per fault model — never mixed silently."""
+
+    def test_combine_rejects_drop_functions(self):
+        # Summing probabilities is meaningless (60% + 60% != 120% loss);
+        # the delay combinator must refuse rather than corrupt.
+        with pytest.raises(TypeError, match="combine_drops"):
+            combine(slow_nodes([0], 1.0), drop_rate(0.6))
+
+    def test_combine_drops_independent_losses(self):
+        fn = combine_drops(drop_rate(0.5), drop_rate(0.5))
+        assert fn(0, 1, 0.0) == pytest.approx(0.75)  # 1 - 0.5 * 0.5
+
+    def test_combine_drops_clamps_at_certain_loss(self):
+        fn = combine_drops(drop_rate(0.4), hard_partition([[0], [1]]))
+        assert fn(0, 1, 0.0) == 1.0
+
+    def test_combine_drops_result_is_itself_a_drop_fn(self):
+        assert is_drop_fn(combine_drops(drop_rate(0.1)))
+
+    def test_combine_drops_rejects_delay_values(self):
+        # A delay function sneaks past the tag check but returns seconds;
+        # any value outside [0, 1] must raise at evaluation time.
+        fn = combine_drops(slow_nodes([0], 3.0))
+        with pytest.raises(ValueError, match="probability"):
+            fn(0, 1, 0.0)
 
 
 class TestLiveEffects:

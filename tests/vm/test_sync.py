@@ -86,3 +86,71 @@ class TestSnapshot:
             height=peer.blockchain.height,
         )
         assert synced.state_root() == deployment.validators[0].blockchain.state.state_root()
+
+
+class TestSnapshotCatchup:
+    """The crash-recovery properties the catch-up protocol leans on."""
+
+    def test_tampered_storage_detected(self):
+        state = populated_state()
+        snapshot = take_snapshot(state)
+        tampered = type(snapshot)(
+            accounts=snapshot.accounts,
+            storage=tuple(
+                (a, k, v if k != "volume:AAPL" else v + 1)
+                for a, k, v in snapshot.storage
+            ),
+            root=snapshot.root,
+        )
+        with pytest.raises(SyncError):
+            restore_snapshot(tampered)
+
+    def test_snapshot_preserves_height_stamp(self):
+        state = populated_state()
+        snapshot = take_snapshot(state, height=42)
+        assert snapshot.height == 42
+        # restoring does not need the stamp but must not choke on it
+        assert restore_snapshot(snapshot).state_root() == state.state_root()
+
+    def test_snapshot_at_height_replay_onto_live_chain(self):
+        """Restore a mid-run snapshot and replay the decided superblocks
+        past it (a restarted node's catch-up): the replayed state must
+        land on the exact root the live committee reached."""
+        from repro import params
+        from repro.core.blockchain import Blockchain
+        from repro.core.deployment import Deployment, fund_clients
+        from repro.core.transaction import make_transfer
+        from repro.net.topology import single_region_topology
+
+        clients, balances = fund_clients(4)
+        deployment = Deployment(
+            protocol=params.ProtocolParams(n=4, rpm=False),
+            topology=single_region_topology(4),
+            extra_balances=balances,
+        )
+        deployment.start()
+        for k in range(12):
+            tx = make_transfer(
+                clients[k % 4], clients[(k + 1) % 4].address, 1,
+                nonce=k // 4, created_at=0.0,
+            )
+            deployment.submit(tx, validator_id=k % 4, at=0.1 + k * 0.3)
+
+        deployment.run_until(2.0)
+        node = deployment.validators[0]
+        boundary = node._next_commit_index
+        snapshot = take_snapshot(
+            node.blockchain.state, height=node.blockchain.height
+        )
+        snapshot_root = node.blockchain.state.state_root()
+
+        deployment.run_until(8.0)
+        assert node._next_commit_index > boundary  # chain moved on
+
+        restored = restore_snapshot(snapshot, expected_root=snapshot_root)
+        replica = Blockchain(protocol=deployment.protocol, state=restored)
+        for superblock in node.journal.range(boundary, node._next_commit_index):
+            replica.commit_superblock(superblock, coinbase_of=node.coinbase_of)
+        assert (
+            replica.state.state_root() == node.blockchain.state.state_root()
+        )
