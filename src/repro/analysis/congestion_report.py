@@ -1,0 +1,150 @@
+"""Render saved observability artifacts into one congestion report.
+
+``repro report --observatory obs.json --lifecycle lc.json --trace t.jsonl``
+lands here: each input is optional, previously written by the CLI's
+``--observatory-out`` / ``--lifecycle-out`` / ``--trace-out`` flags, and
+the report combines whatever is present —
+
+* **critical path** — lifecycle records fed through
+  :func:`repro.telemetry.critical_path.analyze` (with ``exec_share``
+  measured from the trace when one is supplied);
+* **observatory** — congestion sample series as sparklines (terminal) or
+  inline-SVG charts (HTML);
+* **trace spans** — the busiest span names by total duration, a quick
+  where-did-wall-time-go table.
+
+Output is a plain-text terminal report or one self-contained HTML page
+(zero external assets), chosen by the caller.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+
+__all__ = [
+    "load_observatory",
+    "load_lifecycle",
+    "load_trace",
+    "build_congestion_report",
+]
+
+
+def load_observatory(path: str) -> "list[dict]":
+    """Sample list from a ``CongestionObservatory.save`` file (or a bare
+    JSON list of samples)."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    return doc.get("samples", []) if isinstance(doc, dict) else doc
+
+
+def load_lifecycle(path: str) -> "list[dict]":
+    """Lifecycle records from a ``--lifecycle-out`` file (a JSON list, or
+    a mapping with a ``records`` key)."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    return doc.get("records", []) if isinstance(doc, dict) else doc
+
+
+def load_trace(path: str) -> "list[dict]":
+    """Tracer records from a ``--trace-out`` JSONL file."""
+    from repro.telemetry.trace_event import load_jsonl
+
+    return load_jsonl(path)
+
+
+def _span_rows(trace_records: "list[dict]", top: int = 10) -> "list[tuple]":
+    """(name, count, total_dur_s) for the ``top`` busiest span names."""
+    totals: "dict[str, list[float]]" = {}
+    for record in trace_records:
+        if record.get("type") != "span":
+            continue
+        entry = totals.setdefault(record.get("name", "?"), [0, 0.0])
+        entry[0] += 1
+        entry[1] += float(record.get("dur", 0.0))
+    rows = sorted(totals.items(), key=lambda kv: -kv[1][1])[:top]
+    return [(name, int(c), t) for name, (c, t) in rows]
+
+
+def build_congestion_report(
+    *,
+    samples: "list[dict] | None" = None,
+    lifecycle_records: "list[dict] | None" = None,
+    trace_records: "list[dict] | None" = None,
+    html: bool = False,
+    title: str = "SRBB congestion report",
+) -> str:
+    """Assemble the report from whatever inputs are present."""
+    critical = None
+    if lifecycle_records:
+        from repro.telemetry.critical_path import analyze
+
+        critical = analyze(lifecycle_records, trace_records=trace_records)
+    span_rows = _span_rows(trace_records) if trace_records else []
+    if html:
+        return _render_html(
+            samples=samples, critical=critical, span_rows=span_rows,
+            title=title,
+        )
+    return _render_text(
+        samples=samples, critical=critical, span_rows=span_rows, title=title
+    )
+
+
+def _render_text(*, samples, critical, span_rows, title) -> str:
+    sections = [title, "=" * len(title)]
+    if critical is not None:
+        sections.append("")
+        sections.append(critical.render_text())
+    if samples is not None:
+        from repro.telemetry.observatory import render_samples_text
+
+        sections.append("")
+        sections.append(render_samples_text(samples))
+    if span_rows:
+        sections.append("")
+        sections.append("busiest spans (wall time)")
+        sections.append(f"{'span':<24} {'count':>7} {'total':>10}")
+        for name, count, total in span_rows:
+            sections.append(f"{name:<24} {count:>7} {total:>9.3f}s")
+    if len(sections) == 2:
+        sections.append("no inputs — pass --observatory/--lifecycle/--trace")
+    return "\n".join(sections) + "\n"
+
+
+def _render_html(*, samples, critical, span_rows, title) -> str:
+    body = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{_html.escape(title)}</title>",
+        "<style>body{font:13px monospace;background:#181818;color:#ddd;"
+        "margin:2em}h1{font-size:16px}h2{font-size:14px;color:#9c9}"
+        "pre{background:#111;border:1px solid #333;padding:1em}"
+        "figure{margin:1em 0}figcaption{margin-bottom:4px;color:#9c9}"
+        "table{border-collapse:collapse}td,th{border:1px solid #333;"
+        "padding:2px 8px;text-align:right}th{color:#9c9}</style>"
+        "</head><body>",
+        f"<h1>{_html.escape(title)}</h1>",
+    ]
+    if critical is not None:
+        body.append("<h2>critical path</h2>")
+        body.append(f"<pre>{_html.escape(critical.render_text())}</pre>")
+    if samples is not None:
+        from repro.telemetry.observatory import render_samples_figures
+
+        body.append("<h2>congestion observatory</h2>")
+        body.append(render_samples_figures(samples))
+    if span_rows:
+        body.append("<h2>busiest spans (wall time)</h2>")
+        body.append("<table><tr><th>span</th><th>count</th>"
+                    "<th>total</th></tr>")
+        for name, count, total in span_rows:
+            body.append(
+                f"<tr><td>{_html.escape(name)}</td><td>{count}</td>"
+                f"<td>{total:.3f}s</td></tr>"
+            )
+        body.append("</table>")
+    if critical is None and samples is None and not span_rows:
+        body.append("<p>no inputs — pass --observatory/--lifecycle/"
+                    "--trace</p>")
+    body.append("</body></html>")
+    return "\n".join(body) + "\n"

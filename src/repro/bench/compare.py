@@ -98,6 +98,13 @@ DEFAULT_THRESHOLDS: "tuple[Threshold, ...]" = (
     Threshold("headline:votes_per_batch_avg", "higher", 10.0),
     Threshold("headline:*_consensus_msgs", "lower", 10.0, abs_slack=20.0),
     Threshold("*txs_committed_total*", "higher", 5.0, abs_slack=1.0),
+    # -- critical-path latency breakdown (the saturation probe): the
+    # dominant-phase identification is binary evidence, the attributed
+    # per-phase quantiles and tick-engine phase latencies must not grow
+    Threshold("headline:latency_breakdown:dominant_execute", "higher", 0.0),
+    Threshold("headline:latency_breakdown:txs", "higher", 5.0, abs_slack=1.0),
+    Threshold("headline:latency_breakdown:*_s", "lower", 15.0, abs_slack=0.1),
+    Threshold("headline:*_phase_*_s", "lower", 15.0, abs_slack=0.1),
     # -- lower is better: latency (simulated time only; quantiles only —
     # a histogram's :count/:sum grow with *more commits*, which is good)
     Threshold("*latency_s", "lower", 10.0, abs_slack=0.05),
@@ -145,6 +152,29 @@ def _flatten_snapshot(snapshot: dict) -> "dict[str, float]":
     return out
 
 
+def _exemplar_map(doc) -> "dict[str, list[dict]]":
+    """Histogram exemplars by flattened metric key (``name{labels}``).
+
+    Exemplars link an observation to the ``span_id`` that produced it
+    (see ``Histogram.observe``); surfacing them lets a failing p99 row in
+    the diff point straight at the matching spans in the trace dump.
+    Prometheus text inputs carry no exemplars — empty map.
+    """
+    if not isinstance(doc, dict):
+        return {}
+    snapshot = doc.get("metrics", doc) if doc.get("schema") == ARTIFACT_SCHEMA else doc
+    out: "dict[str, list[dict]]" = {}
+    for name, entry in snapshot.items():
+        if not isinstance(entry, dict) or "samples" not in entry:
+            continue
+        for sample in entry["samples"]:
+            if not isinstance(sample, dict) or not sample.get("exemplars"):
+                continue
+            key = name + _fmt_label_suffix(sample.get("labels", {}))
+            out[key] = list(sample["exemplars"])
+    return out
+
+
 def flatten_doc(doc) -> "dict[str, float]":
     """Normalize an artifact / JSON snapshot / Prometheus text to flat
     ``key -> value``. See module docstring for the key grammar."""
@@ -189,6 +219,9 @@ class ComparisonResult:
     """Full diff of two flattened dumps."""
 
     deltas: "list[MetricDelta]" = field(default_factory=list)
+    #: metric key -> exemplars from the *new* document, so a failing row
+    #: links straight to the trace spans behind it
+    exemplars: "dict[str, list[dict]]" = field(default_factory=dict)
 
     @property
     def regressions(self) -> "list[MetricDelta]":
@@ -219,7 +252,7 @@ def diff_docs(
     """Compare two documents (any mix of artifact/snapshot/Prometheus)."""
     old_flat = flatten_doc(old_doc)
     new_flat = flatten_doc(new_doc)
-    result = ComparisonResult()
+    result = ComparisonResult(exemplars=_exemplar_map(new_doc))
     for key in sorted(old_flat.keys() | new_flat.keys()):
         old = old_flat.get(key)
         new = new_flat.get(key)
@@ -274,6 +307,13 @@ def _spark_cell(delta: MetricDelta) -> str:
     return sparkline(np.array([delta.old, delta.new], dtype=float), width=2)
 
 
+def _exemplars_for(key: str, exemplars: "dict[str, list[dict]]") -> "list[dict]":
+    """Exemplars behind one flattened key: a histogram's derived keys
+    (``...:p99``, ``...:count``, ``...:sum``) share its exemplar ring."""
+    base = key.rsplit(":", 1)[0] if ":" in key else key
+    return exemplars.get(key) or exemplars.get(base) or []
+
+
 def render_comparison(
     result: ComparisonResult,
     *,
@@ -297,6 +337,18 @@ def render_comparison(
             f"{key:<58} {_fmt_num(d.old):>12} {_fmt_num(d.new):>12} "
             f"{_delta_cell(d):>8} {_spark_cell(d)} {_STATUS_MARK.get(d.status, d.status)}"
         )
+        if d.status == "regression":
+            # Link the failing row to the spans that produced its worst
+            # recent observations — grep these IDs in the --trace-out file.
+            worst = sorted(
+                _exemplars_for(d.key, result.exemplars),
+                key=lambda e: -e.get("value", 0.0),
+            )[:3]
+            for ex in worst:
+                lines.append(
+                    f"  ↳ span {ex.get('span_id', '?')} observed "
+                    f"{_fmt_num(ex.get('value'))} at ts={ex.get('ts', '?')}"
+                )
     if hidden > 0:
         lines.append(f"... and {hidden} more changed metrics (truncated)")
     gated = [d for d in result.deltas if d.threshold is not None

@@ -27,6 +27,7 @@ __all__ = [
     "scenario_names",
     "cheapest_scenarios",
     "run_chaos_soak",
+    "run_saturation_probe",
 ]
 
 
@@ -88,7 +89,7 @@ def _ratio(num: float, den: float) -> float:
 
 def _sim_headline(prefix: str, result) -> dict:
     """SimResult -> headline fragment (sim-time only, JSON-safe floats)."""
-    return {
+    out = {
         f"{prefix}_throughput_tps": round(result.throughput_tps, 4),
         f"{prefix}_commit_rate": round(result.commit_rate, 6),
         f"{prefix}_avg_latency_s": round(result.avg_latency_s, 4),
@@ -96,7 +97,12 @@ def _sim_headline(prefix: str, result) -> dict:
         f"{prefix}_p95_latency_s": round(result.p95_latency_s, 4),
         f"{prefix}_p99_latency_s": round(result.p99_latency_s, 4),
         f"{prefix}_dropped": float(result.dropped_pool + result.dropped_validation),
+        f"{prefix}_exec_share": round(result.exec_share, 4),
     }
+    for phase, stats in result.phase_latency.items():
+        out[f"{prefix}_phase_{phase}_p50_s"] = round(stats["p50"], 4)
+        out[f"{prefix}_phase_{phase}_p99_s"] = round(stats["p99"], 4)
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -126,9 +132,83 @@ def _run_tvpr_ablation(reg: MetricsRegistry) -> dict:
     return headline
 
 
+def run_saturation_probe(
+    *,
+    seed: int = 21,
+    clients: int = 16,
+    nonces: int = 220,
+    send_window_s: float = 4.0,
+    execution_rate: float = 500.0,
+    horizon_s: float = 30.0,
+) -> "tuple[dict, object]":
+    """Execution-bound saturation probe on the *message-level* engine.
+
+    The tick sweep above finds the saturation point but cannot say where
+    a transaction's time goes — its SRBB model is round-capacity-bound,
+    not execution-bound.  This probe drives a real 4-validator deployment
+    with a deliberately slow VM (``execution_rate`` txs/s, ~600-tx
+    superblocks ⇒ each commit defers the next round by >1 s of execution)
+    well past capacity, with per-tx lifecycle recording on, and returns
+    ``(headline, CriticalPathReport)``: the critical-path attribution —
+    flat ``latency_breakdown:*`` keys — must pin ``execute`` as the
+    dominant phase at saturation.
+    """
+    from repro import params, telemetry
+    from repro.telemetry import lifecycle
+    from repro.core.deployment import Deployment, fund_clients
+    from repro.core.transaction import make_transfer
+    from repro.net.topology import single_region_topology
+    from repro.telemetry.critical_path import analyze
+
+    recorder = telemetry.LifecycleRecorder()
+    # Scope a private tracer too: the probe's exec_share comes from its
+    # own node.commit events, independent of whether the caller traces.
+    tracer = telemetry.Tracer(enabled=True)
+    previous_tracer = telemetry.set_tracer(tracer)
+    try:
+        with lifecycle.use_recorder(recorder):
+            keypairs, balances = fund_clients(clients, seed=5000 + seed)
+            deployment = Deployment(
+                protocol=params.ProtocolParams(
+                    n=4, tvpr=True, rpm=False, max_block_txs=150
+                ),
+                topology=single_region_topology(4),
+                extra_balances=balances,
+                execution_rate=execution_rate,
+                seed=seed,
+            )
+            deployment.start()
+            total = clients * nonces
+            gap = send_window_s / total
+            sent = 0
+            for nonce in range(nonces):
+                for i, keypair in enumerate(keypairs):
+                    k = nonce * clients + i
+                    tx = make_transfer(
+                        keypair, keypairs[(i + 1) % clients].address, 1,
+                        nonce=nonce, created_at=k * gap,
+                    )
+                    deployment.submit(tx, validator_id=i % 4, at=k * gap)
+                    sent += 1
+            deployment.run_until(horizon_s)
+    finally:
+        telemetry.set_tracer(previous_tracer)
+
+    report = analyze(recorder, trace_records=tracer.records)
+    committed_txs = report.committed
+    headline = report.headline()
+    headline["probe_sent"] = float(sent)
+    headline["probe_committed"] = float(committed_txs)
+    headline["probe_commit_rate"] = round(_ratio(committed_txs, sent), 6)
+    headline["probe_throughput_tps"] = round(committed_txs / horizon_s, 4)
+    return headline, report
+
+
 def _run_saturation_sweep(reg: MetricsRegistry) -> dict:
     """Offered-load sweep on the tick engine: throughput/commit-rate at
-    fixed rates plus the bisected saturation point, SRBB vs EVM+DBFT."""
+    fixed rates plus the bisected saturation point, SRBB vs EVM+DBFT —
+    plus the message-level saturation probe's per-phase latency
+    attribution (``latency_breakdown:*``)."""
     from repro.sim.chains import EVM_DBFT, SRBB
     from repro.sim.sweep import latency_curve, saturation_throughput
 
@@ -145,6 +225,8 @@ def _run_saturation_sweep(reg: MetricsRegistry) -> dict:
         headline[f"{prefix}_saturation_tps"] = float(
             saturation_throughput(model, duration_s=20)
         )
+    probe_headline, _report = run_saturation_probe()
+    headline.update(probe_headline)
     return headline
 
 

@@ -27,6 +27,7 @@ from types import SimpleNamespace
 from typing import Any, Callable
 
 from repro import telemetry
+from repro.telemetry import lifecycle
 from repro.consensus.broadcast import ReliableBroadcast
 from repro.consensus.dbft import BinaryConsensus
 from repro.consensus.messages import ConsensusMessage, MsgKind
@@ -186,6 +187,10 @@ class SuperBlockConsensus:
             self._vote(instance_id, 0)
             return
         block = payload
+        # Lifecycle: the carrying block reached RBC echo/ready quorum
+        # here (simulated time via the recorder-bound deployment clock).
+        if block.transactions and lifecycle.enabled():
+            lifecycle.stamp_txs(block.transactions, "rbc", node=self.my_id)
         if self.finished:
             # Late delivery: the round is over.  If this slot was voted
             # out, hand the block to the recycler (Alg. 1 line 31).
@@ -237,6 +242,12 @@ class SuperBlockConsensus:
             index=self.index,
             blocks=tuple(self.proposals[i] for i in accepted),
         )
+        if lifecycle.enabled():
+            for block in self.superblock.blocks:
+                lifecycle.stamp_txs(
+                    block.transactions, "decide",
+                    node=self.my_id, index=self.index,
+                )
         m = _metrics()
         m.superblocks.inc()
         m.blocks.observe(len(accepted))

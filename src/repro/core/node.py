@@ -28,6 +28,7 @@ import logging
 from typing import Callable
 
 from repro import params, telemetry
+from repro.telemetry import lifecycle
 from repro.core.block import Block, SuperBlock, make_block
 from repro.core.blockchain import Blockchain
 from repro.core.catchup import CatchupRequest, CatchupResponse, DecidedJournal
@@ -403,11 +404,17 @@ class ValidatorNode:
         if self.crashed:
             return False
         self.stats.txs_from_clients += 1
+        lifecycle.stamp(
+            tx.tx_hash, "submit", node=self.node_id, t=self.sim.now
+        )
         return self._receive(tx, from_peer=False)
 
     def _deliver_gossiped_tx(self, tx: Transaction, sender: int) -> None:
         """A peer gossiped an individual transaction (non-TVPR mode only)."""
         self.stats.txs_from_peers += 1
+        lifecycle.stamp(
+            tx.tx_hash, "gossip", node=self.node_id, t=self.sim.now
+        )
         self._receive(tx, from_peer=True)
 
     def _receive(self, tx: Transaction, *, from_peer: bool) -> bool:
@@ -426,6 +433,7 @@ class ValidatorNode:
         if self.blockchain.contains_tx(tx) or tx in self.pool:
             return False
         self.pool.add(tx, now=self.sim.now)  # line 7
+        lifecycle.stamp(tx.tx_hash, "pool", node=self.node_id, t=self.sim.now)
         if not self.protocol.tvpr and self.sim.now - tx.created_at < self.protocol.tx_ttl:
             # line 9 — modern blockchains gossip; SRBB (TVPR) does not.
             self.gossip.publish(tx.tx_hash, tx, tx.encoded_size())
@@ -454,6 +462,10 @@ class ValidatorNode:
             next_nonce=self.blockchain.state.nonce_of,
             by_fee=self.order_by_fee,
         )
+        if batch and lifecycle.enabled():
+            lifecycle.stamp_txs(
+                batch, "propose", node=self.node_id, t=self.sim.now
+            )
         return make_block(
             self.keypair, self.node_id, index, batch, round=index
         )
@@ -618,12 +630,16 @@ class ValidatorNode:
         self.stats.superblocks_committed += 1
         self.stats.txs_committed += len(result.committed)
         self.stats.txs_discarded += len(result.discarded)
+        processed = len(result.committed) + len(result.discarded)
         telemetry.event(
             "node.commit",
             node=self.node_id,
             index=superblock.index,
             committed=len(result.committed),
             discarded=len(result.discarded),
+            # CPU seconds this commit spends in lazy validation + VM
+            # execution — the critical-path analyzer's exec_share input
+            exec_s=round(processed / self.execution_rate, 9),
             sim_now=self.sim.now,
         )
         logger.debug(
@@ -638,6 +654,7 @@ class ValidatorNode:
             self.receipts.record_block(
                 appended, receipts_by_hash, commit_time=self.sim.now
             )
+        self._stamp_committed(superblock.index, result, receipts_by_hash)
 
         # Drop any pool copies of committed transactions.
         self.pool.remove_hashes({tx.tx_hash for tx in result.committed})
@@ -659,7 +676,6 @@ class ValidatorNode:
         # Schedule the next round, deferred by the CPU time this commit
         # consumed (every transaction — including flooded invalid ones —
         # is lazily validated and executed before the node can move on).
-        processed = len(result.committed) + len(result.discarded)
         execution_delay = processed / self.execution_rate
         next_index = superblock.index + 1
         if next_index > self._next_propose_index:
@@ -667,6 +683,27 @@ class ValidatorNode:
         self._schedule(
             self.round_interval + execution_delay, self._start_round, next_index
         )
+
+    def _stamp_committed(self, index, result, receipts_by_hash) -> None:
+        """Lifecycle stamps for one applied superblock: ``commit`` at the
+        commit instant, ``execute`` at each tx's staggered VM-execution
+        time (the ``commit_times`` cursor), ``receipt`` once indexed."""
+        if not lifecycle.enabled():
+            return
+        now = self.sim.now
+        commit_times = self.blockchain.commit_times
+        for tx in result.committed:
+            lifecycle.stamp(
+                tx.tx_hash, "commit", node=self.node_id, t=now, index=index
+            )
+            executed_at = commit_times.get(tx.tx_hash, now)
+            lifecycle.stamp(
+                tx.tx_hash, "execute", node=self.node_id, t=executed_at
+            )
+            if tx.tx_hash in receipts_by_hash:
+                lifecycle.stamp(
+                    tx.tx_hash, "receipt", node=self.node_id, t=executed_at
+                )
 
     def _recycle_block(self, block: Block) -> None:
         """Re-admit valid transactions from an undecided block (line 31)."""
@@ -676,6 +713,9 @@ class ValidatorNode:
             if eager_validate(tx, self.blockchain.state, self.protocol):
                 self.pool.add(tx, now=self.sim.now)
                 self.stats.recycled_from_undecided += 1
+                lifecycle.stamp(
+                    tx.tx_hash, "pool", node=self.node_id, t=self.sim.now
+                )
 
     # -- catch-up protocol -------------------------------------------------------------------
 
@@ -815,6 +855,7 @@ class ValidatorNode:
             self.receipts.record_block(
                 appended, receipts_by_hash, commit_time=self.sim.now
             )
+        self._stamp_committed(superblock.index, result, receipts_by_hash)
         self.pool.remove_hashes({tx.tx_hash for tx in result.committed})
         self._next_commit_index += 1
 

@@ -288,6 +288,14 @@ class TxPool:
             m.size.set(len(self._pending))
         return batch
 
+    def oldest_age(self, now: float) -> float:
+        """Age in seconds of the oldest pending transaction (0.0 when
+        empty) — the congestion observatory's queue-delay signal: a
+        growing oldest-age means arrivals outpace block inclusion."""
+        for _, admitted in self._pending.values():
+            return max(0.0, now - admitted)
+        return 0.0
+
     def peek(self, count: int) -> list[Transaction]:
         """First ``count`` pending transactions without removing them."""
         out = []

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import params
+from repro.telemetry import CongestionObservatory
 from repro.core.deployment import Deployment
 from repro.diablo.benchmark import BenchmarkResult, DiabloBenchmark
 from repro.diablo.client import LoadSchedule, RoundRobinSubmitter
@@ -40,6 +41,9 @@ class DappRunOutcome:
     result: BenchmarkResult
     deployment: Deployment
     schedule: LoadSchedule
+    #: congestion sample series, present when ``observatory_interval_s``
+    #: was passed to :func:`run_dapp_workload`
+    observatory: "CongestionObservatory | None" = None
 
     @property
     def safety_holds(self) -> bool:
@@ -61,6 +65,7 @@ def run_dapp_workload(
     topology: Topology | None = None,
     grace_s: float = 30.0,
     seed: int = 1,
+    observatory_interval_s: "float | None" = None,
 ) -> DappRunOutcome:
     """Run one DApp workload end to end on the engine.
 
@@ -84,7 +89,15 @@ def run_dapp_workload(
         extra_balances=factory_balances(factory),
         seed=seed,
     )
+    observatory = None
+    if observatory_interval_s is not None:
+        observatory = CongestionObservatory(
+            deployment, interval_s=observatory_interval_s
+        ).install()
     schedule = LoadSchedule.from_trace(trace, factory)
     bench = DiabloBenchmark(deployment, submitter=RoundRobinSubmitter())
     result = bench.run(schedule, grace_s=grace_s)
-    return DappRunOutcome(result=result, deployment=deployment, schedule=schedule)
+    return DappRunOutcome(
+        result=result, deployment=deployment, schedule=schedule,
+        observatory=observatory,
+    )

@@ -288,6 +288,21 @@ class Network:
     def is_down(self, node_id: int) -> bool:
         return node_id in self._down
 
+    # -- congestion observability ----------------------------------------------
+
+    def inflight(self) -> int:
+        """Un-acked reliable sends currently awaiting ack/retransmit —
+        the network-wide retransmission-queue depth sampled by the
+        congestion observatory (0 under fire-and-forget delivery)."""
+        return len(self._pending)
+
+    def inflight_by_link(self) -> "dict[tuple[int, int], int]":
+        """Un-acked reliable sends per directed (src, dst) link."""
+        out: "dict[tuple[int, int], int]" = {}
+        for src, dst, _seq in self._pending:
+            out[(src, dst)] = out.get((src, dst), 0) + 1
+        return out
+
     # -- delay model ---------------------------------------------------------------
 
     def delay_for(self, src: int, dst: int, size_bytes: int) -> float:

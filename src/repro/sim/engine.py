@@ -46,6 +46,10 @@ def _build_metrics(reg: telemetry.MetricsRegistry) -> SimpleNamespace:
         latency=reg.histogram(
             "srbb_sim_commit_latency_seconds", "client-observed commit latency"
         ),
+        phase=reg.histogram(
+            "srbb_sim_phase_latency_seconds",
+            "per-phase share of commit latency (validate / pool_wait / consensus)",
+        ),
         validation_depth=reg.histogram(
             "srbb_sim_validation_queue_depth",
             "validation (admission) queue occupancy per tick",
@@ -77,21 +81,26 @@ DEFAULT_GRACE_S = 130.0
 
 @dataclass
 class _CohortQueue:
-    """FIFO of (send_time, count) cohorts with O(1) aggregate size."""
+    """FIFO of (key, count) cohorts with O(1) aggregate size.
+
+    ``key`` is opaque — the arrival queue keys cohorts by send time, the
+    mempool by (send_time, validated_time) so the phase accounting can
+    tell queue-wait in validation apart from queue-wait in the pool.
+    """
 
     def __post_init__(self) -> None:
-        self._q: deque[list[float]] = deque()
+        self._q: deque[list] = deque()
         self.size = 0.0
 
-    def push(self, send_time: float, count: float) -> None:
+    def push(self, key, count: float) -> None:
         if count <= 0:
             return
-        self._q.append([send_time, count])
+        self._q.append([key, count])
         self.size += count
 
-    def pop(self, budget: float) -> list[tuple[float, float]]:
+    def pop(self, budget: float) -> list[tuple]:
         """Remove up to ``budget`` transactions; returns popped cohorts."""
-        out: list[tuple[float, float]] = []
+        out: list[tuple] = []
         while budget > 1e-9 and self._q:
             head = self._q[0]
             take = min(budget, head[1])
@@ -151,8 +160,9 @@ class CongestionSim:
 
         validation_q = _CohortQueue()
         mempool = _CohortQueue()
-        #: commits scheduled for future ticks: tick -> list of cohorts
-        in_flight: dict[int, list[tuple[float, float]]] = {}
+        #: commits scheduled for future ticks:
+        #: tick -> [(send_time, taken_time, count), ...]
+        in_flight: dict[int, list[tuple[float, float, float]]] = {}
 
         val_budget_per_tick = model.validation_rate() * dt
         pool_capacity = float(model.pool_capacity_total())
@@ -161,6 +171,13 @@ class CongestionSim:
         latency_ticks = int(round(model.consensus_latency / dt))
 
         latency = LatencySample()
+        # per-phase latency decomposition (validate = send → validated,
+        # pool_wait = validated → taken, consensus = taken → committed)
+        validate_lat = LatencySample()
+        pool_wait_lat = LatencySample()
+        consensus_lat = LatencySample()
+        rounds_produced = 0
+        taken_total = 0.0
         committed = 0.0
         dropped_pool = 0.0
         dropped_validation = 0.0
@@ -190,7 +207,8 @@ class CongestionSim:
             room = pool_capacity - mempool.size
             budget = min(val_budget_per_tick, max(0.0, room))
             for send_time, count in validation_q.pop(budget):
-                mempool.push(send_time, count)
+                mempool.push((send_time, now), count)
+                validate_lat.add(now - send_time, count)
             if room <= 0 and validation_q.size > 0:
                 # pool saturated: validated txs have nowhere to go; modern
                 # nodes drop them (tx loss under congestion)
@@ -203,13 +221,19 @@ class CongestionSim:
                 taken = mempool.pop(round_budget)
                 if taken:
                     commit_tick = tick + latency_ticks
-                    in_flight.setdefault(commit_tick, []).extend(taken)
+                    entries = in_flight.setdefault(commit_tick, [])
+                    for (send_time, validated_time), count in taken:
+                        pool_wait_lat.add(now - validated_time, count)
+                        entries.append((send_time, now, count))
+                        taken_total += count
+                    rounds_produced += 1
 
             # 4. commits land
-            for send_time, count in in_flight.pop(tick, ()):  # type: ignore[arg-type]
+            for send_time, taken_time, count in in_flight.pop(tick, ()):  # type: ignore[arg-type]
                 committed += count
                 commit_series[tick] += count
                 latency.add(now - send_time, count)
+                consensus_lat.add(now - taken_time, count)
                 if telemetry_on:
                     m.latency.observe(now - send_time, count)
                 last_commit_time = now
@@ -224,17 +248,32 @@ class CongestionSim:
         # is within the consensus-latency tail
         for commit_tick in sorted(in_flight):
             now = commit_tick * dt
-            for send_time, count in in_flight[commit_tick]:
+            for send_time, taken_time, count in in_flight[commit_tick]:
                 committed += count
                 if commit_tick < len(commit_series):
                     commit_series[commit_tick] += count
                 latency.add(now - send_time, count)
+                consensus_lat.add(now - taken_time, count)
                 if telemetry_on:
                     m.latency.observe(now - send_time, count)
                 last_commit_time = now
 
         unfinished = validation_q.size + mempool.size
         duration = max(last_commit_time, self.trace.duration_s)
+        # How execution-bound was the round cadence?  Each production
+        # round spends taken/exec_rate seconds executing out of one
+        # block_interval of cadence.
+        exec_share = 0.0
+        if rounds_produced and model.block_interval > 0:
+            exec_time = taken_total / model.exec_rate
+            exec_share = min(
+                1.0, exec_time / (rounds_produced * model.block_interval)
+            )
+        phase_latency = {
+            "validate": validate_lat,
+            "pool_wait": pool_wait_lat,
+            "consensus": consensus_lat,
+        }
         result = SimResult(
             chain=model.name,
             workload=self.trace.name,
@@ -251,6 +290,15 @@ class CongestionSim:
             commit_series=commit_series,
             pool_series=pool_series,
             validation_series=validation_series,
+            phase_latency={
+                phase: {
+                    "mean": sample.mean,
+                    "p50": sample.percentile(50.0),
+                    "p99": sample.percentile(99.0),
+                }
+                for phase, sample in phase_latency.items()
+            },
+            exec_share=exec_share,
         )
         if telemetry_on:
             # Counters take the rounded result values so the exported
@@ -262,6 +310,11 @@ class CongestionSim:
             m.unfinished.set(result.unfinished)
             m.validation_gauge.set(validation_series[-1] if len(validation_series) else 0)
             m.mempool_gauge.set(pool_series[-1] if len(pool_series) else 0)
+            for phase, sample in phase_latency.items():
+                child = m.phase.labels(phase=phase)
+                hist = sample.histogram
+                if hist.count:
+                    child.observe(sample.mean, hist.count)
         return result
 
 

@@ -111,6 +111,24 @@ class SimResult:
     #: validation (admission) queue occupancy per tick — where gossiping
     #: chains actually congest (§III-A)
     validation_series: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: per-phase latency stats, phase -> {mean, p50, p99} seconds: where a
+    #: committed tx's end-to-end time was spent (validate / pool_wait /
+    #: consensus — the tick-engine pipeline stages)
+    phase_latency: dict = field(default_factory=dict)
+    #: fraction of each production round spent executing taken txs
+    #: (exec_time / block_interval, capped at 1) — how execution-bound
+    #: the round cadence was
+    exec_share: float = 0.0
+
+    def phase_breakdown(self) -> dict:
+        """Flat ``latency_breakdown:*`` keys for bench headlines: raw
+        phase p50/p99 plus ``exec_share``, mirroring the message-level
+        critical-path block's shape so metrics-diff thresholds apply."""
+        out = {"latency_breakdown:exec_share": round(self.exec_share, 4)}
+        for phase, stats in self.phase_latency.items():
+            out[f"latency_breakdown:{phase}_p50_s"] = round(stats["p50"], 4)
+            out[f"latency_breakdown:{phase}_p99_s"] = round(stats["p99"], 4)
+        return out
 
     @property
     def throughput_tps(self) -> float:

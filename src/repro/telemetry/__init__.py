@@ -16,13 +16,23 @@ The metric catalogue (names, labels, units) lives in
 ``docs/OBSERVABILITY.md``.
 """
 
+from repro.telemetry.critical_path import CriticalPathReport
+from repro.telemetry.critical_path import analyze as analyze_critical_path
 from repro.telemetry.exporters import (
     parse_prometheus,
     to_json,
     to_prometheus,
     write_metrics,
 )
+from repro.telemetry.lifecycle import (
+    PHASES,
+    LifecycleRecorder,
+    get_recorder,
+    set_recorder,
+    use_recorder,
+)
 from repro.telemetry.logconfig import configure_logging, verbosity_to_level
+from repro.telemetry.observatory import CongestionObservatory
 from repro.telemetry.registry import (
     COUNT_BUCKETS,
     DEFAULT_BUCKETS,
@@ -40,6 +50,7 @@ from repro.telemetry.registry import (
     use_registry,
 )
 from repro.telemetry.timing import stopwatch, timed
+from repro.telemetry.trace_event import to_trace_events, validate_trace_event
 from repro.telemetry.tracing import (
     Tracer,
     current_span_id,
@@ -53,21 +64,28 @@ __all__ = [
     "COUNT_BUCKETS",
     "DEFAULT_BUCKETS",
     "EXEMPLAR_RING",
+    "PHASES",
+    "CongestionObservatory",
     "Counter",
+    "CriticalPathReport",
     "Gauge",
     "Histogram",
+    "LifecycleRecorder",
     "MetricsRegistry",
     "QuantileSketch",
     "Tracer",
+    "analyze_critical_path",
     "bind",
     "configure_logging",
     "current_span_id",
     "disable",
     "enable",
     "event",
+    "get_recorder",
     "get_registry",
     "get_tracer",
     "parse_prometheus",
+    "set_recorder",
     "set_registry",
     "set_tracer",
     "span",
@@ -75,7 +93,10 @@ __all__ = [
     "timed",
     "to_json",
     "to_prometheus",
+    "to_trace_events",
+    "use_recorder",
     "use_registry",
+    "validate_trace_event",
     "verbosity_to_level",
     "write_metrics",
 ]

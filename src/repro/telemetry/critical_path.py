@@ -1,0 +1,279 @@
+"""Post-hoc critical-path attribution of end-to-end commit latency.
+
+Consumes the per-tx lifecycle stamps (:mod:`repro.telemetry.lifecycle`)
+plus the tracer's span/event records and answers *where the time goes*:
+for each committed transaction the resolved timeline is folded into six
+raw buckets that telescope exactly to the end-to-end latency,
+
+======================  ======================================
+bucket                  boundary (monotone resolved times)
+======================  ======================================
+``admit``               submit → pool admit (incl. gossip hop)
+``pool_wait``           pool admit → proposal inclusion
+``propagate``           proposal → RBC echo/ready quorum
+``consensus``           RBC deliver → DBFT decide
+``commit_wait``         decide → ordered commit
+``execute``             commit → VM execute → receipt
+======================  ======================================
+
+``pool_wait`` and ``commit_wait`` are *queue* time: the tx sits behind
+the round cadence, and the cadence itself is split between ordering work
+and execution work.  The analyzer measures that split — ``exec_share``,
+the fraction of the busiest node's commit-loop span spent executing
+(``Σ exec_s`` from ``node.commit`` trace events) — and reattributes the
+queue buckets proportionally.  The **attributed** breakdown is therefore
+
+* ``execute``  = raw execute + exec_share · (pool_wait + commit_wait)
+* ``ordering`` = (1 − exec_share) · (pool_wait + commit_wait)
+* ``admit`` / ``propagate`` / ``consensus`` unchanged,
+
+which still telescopes to the same end-to-end latency while charging
+queueing delay to the resource that caused it.  At saturation with a
+slow VM this correctly pins ``execute`` as dominant even though most of
+a tx's wall time is spent *waiting* rather than executing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.telemetry.lifecycle import LifecycleRecorder, TxLifecycle
+
+__all__ = [
+    "RAW_BUCKETS",
+    "ATTRIBUTED_BUCKETS",
+    "PhaseStats",
+    "CriticalPathReport",
+    "analyze",
+    "exec_share_from_trace",
+]
+
+#: raw buckets, pipeline order (telescoping: they sum to e2e)
+RAW_BUCKETS = (
+    "admit", "pool_wait", "propagate", "consensus", "commit_wait", "execute"
+)
+
+#: attributed buckets after queue-wait reattribution, pipeline order
+ATTRIBUTED_BUCKETS = ("admit", "propagate", "consensus", "ordering", "execute")
+
+#: lifecycle phase duration -> raw bucket
+_PHASE_BUCKET = {
+    "gossip": "admit",
+    "pool": "admit",
+    "propose": "pool_wait",
+    "rbc": "propagate",
+    "decide": "consensus",
+    "commit": "commit_wait",
+    "execute": "execute",
+    "receipt": "execute",
+}
+
+
+@dataclass
+class PhaseStats:
+    """Aggregate seconds for one bucket across committed transactions."""
+
+    count: int = 0
+    mean: float = 0.0
+    p50: float = 0.0
+    p99: float = 0.0
+
+    @classmethod
+    def from_samples(cls, samples: "np.ndarray") -> "PhaseStats":
+        if samples.size == 0:
+            return cls()
+        return cls(
+            count=int(samples.size),
+            mean=float(samples.mean()),
+            p50=float(np.percentile(samples, 50)),
+            p99=float(np.percentile(samples, 99)),
+        )
+
+
+@dataclass
+class CriticalPathReport:
+    """Scenario-level latency attribution (see module docstring)."""
+
+    txs: int = 0
+    committed: int = 0
+    exec_share: float = 0.0
+    e2e: PhaseStats = field(default_factory=PhaseStats)
+    raw: "dict[str, PhaseStats]" = field(default_factory=dict)
+    attributed: "dict[str, PhaseStats]" = field(default_factory=dict)
+    dominant_phase: str = ""
+    #: per-superblock chain summaries, index order
+    superblocks: "list[dict]" = field(default_factory=list)
+
+    def headline(self, prefix: str = "latency_breakdown") -> "dict[str, float]":
+        """Flat numeric keys for a BENCH artifact headline block."""
+        out: "dict[str, float]" = {
+            f"{prefix}:txs": float(self.committed),
+            f"{prefix}:exec_share": round(self.exec_share, 4),
+            f"{prefix}:e2e_p50_s": round(self.e2e.p50, 4),
+            f"{prefix}:e2e_p99_s": round(self.e2e.p99, 4),
+            f"{prefix}:dominant_execute": (
+                1.0 if self.dominant_phase == "execute" else 0.0
+            ),
+        }
+        for bucket in ATTRIBUTED_BUCKETS:
+            stats = self.attributed.get(bucket, PhaseStats())
+            out[f"{prefix}:{bucket}_p50_s"] = round(stats.p50, 4)
+            out[f"{prefix}:{bucket}_p99_s"] = round(stats.p99, 4)
+        return out
+
+    def render_text(self) -> str:
+        """Terminal table: raw and attributed breakdowns side by side."""
+        lines = [
+            f"critical path — {self.committed}/{self.txs} txs committed, "
+            f"exec_share={self.exec_share:.2f}, "
+            f"e2e p50={self.e2e.p50:.3f}s p99={self.e2e.p99:.3f}s",
+            f"{'bucket':<12} {'mean':>9} {'p50':>9} {'p99':>9}   share of e2e",
+        ]
+        e2e_mean = self.e2e.mean or 1.0
+        for bucket in ATTRIBUTED_BUCKETS:
+            stats = self.attributed.get(bucket, PhaseStats())
+            share = stats.mean / e2e_mean
+            bar = "#" * max(0, min(30, round(share * 30)))
+            marker = "  ◀ dominant" if bucket == self.dominant_phase else ""
+            lines.append(
+                f"{bucket:<12} {stats.mean:>8.3f}s {stats.p50:>8.3f}s "
+                f"{stats.p99:>8.3f}s   {share:>5.1%} {bar}{marker}"
+            )
+        if self.superblocks:
+            lines.append("")
+            lines.append(
+                f"{'superblock':<11} {'txs':>5} {'e2e p50':>9} {'slowest bucket'}"
+            )
+            for sb in self.superblocks:
+                lines.append(
+                    f"{sb['index']:<11} {sb['txs']:>5} "
+                    f"{sb['e2e_p50_s']:>8.3f}s {sb['slowest_bucket']}"
+                )
+        return "\n".join(lines)
+
+
+def exec_share_from_trace(trace_records: "list[dict]") -> "float | None":
+    """Fraction of the commit loop spent executing, from ``node.commit``
+    trace events (their ``exec_s`` attr), measured on the node that
+    committed the most superblocks.
+
+    A commit's execution time delays the *next* round, so each
+    commit-to-commit interval is attributed the leading commit's
+    ``exec_s``.  Only intervals whose leading commit actually executed
+    work count — empty drain rounds after the backlog clears (and idle
+    rounds before load arrives) would otherwise dilute the share of a
+    saturated window.  Returns None when the trace carries no usable
+    commit events (analysis then skips reattribution).
+    """
+    by_node: "dict[int, list[tuple[float, float]]]" = {}
+    for record in trace_records or ():
+        if record.get("type") != "event" or record.get("name") != "node.commit":
+            continue
+        attrs = record.get("attrs", {})
+        if "exec_s" not in attrs or "sim_now" not in attrs:
+            continue
+        node = attrs.get("node", -1)
+        by_node.setdefault(node, []).append(
+            (float(attrs["sim_now"]), float(attrs["exec_s"]))
+        )
+    if not by_node:
+        return None
+    commits = sorted(max(by_node.values(), key=len))
+    if len(commits) < 2:
+        return None
+    exec_total = 0.0
+    interval_total = 0.0
+    for (t0, exec_s), (t1, _) in zip(commits, commits[1:]):
+        if exec_s > 0 and t1 > t0:
+            exec_total += exec_s
+            interval_total += t1 - t0
+    if interval_total <= 0:
+        return None
+    return max(0.0, min(1.0, exec_total / interval_total))
+
+
+def _bucketize(lifecycle: TxLifecycle) -> "dict[str, float]":
+    """Fold one resolved timeline into the raw buckets (telescoping)."""
+    buckets = {bucket: 0.0 for bucket in RAW_BUCKETS}
+    for phase, duration in lifecycle.durations.items():
+        bucket = _PHASE_BUCKET.get(phase)
+        if bucket is not None:
+            buckets[bucket] += duration
+    return buckets
+
+
+def analyze(
+    recorder,
+    *,
+    trace_records: "list[dict] | None" = None,
+    exec_share: "float | None" = None,
+) -> CriticalPathReport:
+    """Build the attribution report from a :class:`LifecycleRecorder`
+    (or the raw record list produced by its ``to_records()``).
+
+    ``exec_share`` overrides the trace-derived measurement; when neither
+    is available, queue wait is charged entirely to ``ordering``.
+    """
+    if isinstance(recorder, list):
+        recorder = LifecycleRecorder.from_records(recorder)
+    lifecycles = recorder.resolve_all()
+    committed = [lc for lc in lifecycles if lc.committed]
+
+    if exec_share is None and trace_records is not None:
+        exec_share = exec_share_from_trace(trace_records)
+    if exec_share is None:
+        exec_share = 0.0
+
+    report = CriticalPathReport(
+        txs=len(lifecycles), committed=len(committed), exec_share=exec_share
+    )
+    if not committed:
+        report.raw = {bucket: PhaseStats() for bucket in RAW_BUCKETS}
+        report.attributed = {b: PhaseStats() for b in ATTRIBUTED_BUCKETS}
+        return report
+
+    raw_rows = [_bucketize(lc) for lc in committed]
+    e2e = np.array([lc.e2e for lc in committed])
+    report.e2e = PhaseStats.from_samples(e2e)
+    for bucket in RAW_BUCKETS:
+        samples = np.array([row[bucket] for row in raw_rows])
+        report.raw[bucket] = PhaseStats.from_samples(samples)
+
+    attributed_rows = []
+    for row in raw_rows:
+        queue_wait = row["pool_wait"] + row["commit_wait"]
+        attributed_rows.append({
+            "admit": row["admit"],
+            "propagate": row["propagate"],
+            "consensus": row["consensus"],
+            "ordering": (1.0 - exec_share) * queue_wait,
+            "execute": row["execute"] + exec_share * queue_wait,
+        })
+    for bucket in ATTRIBUTED_BUCKETS:
+        samples = np.array([row[bucket] for row in attributed_rows])
+        report.attributed[bucket] = PhaseStats.from_samples(samples)
+    report.dominant_phase = max(
+        ATTRIBUTED_BUCKETS, key=lambda b: report.attributed[b].mean
+    )
+
+    by_index: "dict[int, list[tuple[TxLifecycle, dict]]]" = {}
+    for lc, row in zip(committed, raw_rows):
+        if lc.index is not None:
+            by_index.setdefault(lc.index, []).append((lc, row))
+    for index in sorted(by_index):
+        group = by_index[index]
+        group_e2e = np.array([lc.e2e for lc, _ in group])
+        bucket_means = {
+            bucket: float(np.mean([row[bucket] for _, row in group]))
+            for bucket in RAW_BUCKETS
+        }
+        report.superblocks.append({
+            "index": index,
+            "txs": len(group),
+            "e2e_p50_s": round(float(np.percentile(group_e2e, 50)), 6),
+            "e2e_p99_s": round(float(np.percentile(group_e2e, 99)), 6),
+            "slowest_bucket": max(bucket_means, key=bucket_means.get),
+        })
+    return report

@@ -1,0 +1,299 @@
+"""Per-transaction lifecycle stamps across the SRBB pipeline.
+
+Every transaction on the message-level engine is stamped at each phase
+boundary it crosses (simulated clock, per node):
+
+    submit → gossip → pool → propose → rbc → decide → commit → execute → receipt
+
+* ``submit``  — client submission reached a validator (§IV-C Reception);
+* ``gossip``  — a peer's gossiped copy arrived (non-TVPR mode only);
+* ``pool``    — admitted to a transaction pool (Alg. 1 line 7);
+* ``propose`` — taken into a block proposal (Alg. 1 lines 11-12);
+* ``rbc``     — the carrying block reached RBC echo/ready quorum
+  (delivered) at a node;
+* ``decide``  — the superblock containing it was DBFT-decided;
+* ``commit``  — applied by the ordered commit loop;
+* ``execute`` — VM execution completed (the per-tx execution cursor:
+  ``commit_times``);
+* ``receipt`` — receipt indexed for client confirmation.
+
+Stamps are *observations*: recording them never feeds back into the
+simulation, so enabling the recorder cannot change results.  Like the
+tracer and metrics registry, the process-global recorder starts
+**disabled** and every stamping call-site is a one-branch no-op until a
+bench scenario, the CLI (``--lifecycle-out``) or a test enables it.
+
+A transaction may be stamped for the same phase on many nodes (every
+replica commits it) and — after crash/recycle — more than once per node.
+:meth:`LifecycleRecorder.resolve` therefore reconstructs one *monotone*
+per-tx timeline: phases are walked in canonical order and each resolves
+to the earliest stamp not before the previous resolved phase.  That
+makes every phase duration non-negative and the durations telescope
+exactly to ``last − first`` — the invariant the accounting tests check.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+__all__ = [
+    "PHASES",
+    "TxLifecycle",
+    "LifecycleRecorder",
+    "get_recorder",
+    "set_recorder",
+    "use_recorder",
+    "enabled",
+    "stamp",
+    "stamp_txs",
+]
+
+#: canonical phase order (the resolve() walk and every report follow it)
+PHASES = (
+    "submit",
+    "gossip",
+    "pool",
+    "propose",
+    "rbc",
+    "decide",
+    "commit",
+    "execute",
+    "receipt",
+)
+
+_PHASE_INDEX = {phase: i for i, phase in enumerate(PHASES)}
+
+
+@dataclass
+class TxLifecycle:
+    """One transaction's resolved (monotone) timeline.
+
+    ``times`` maps each *present* phase to its resolved simulated time;
+    ``durations`` maps each present phase (except the first) to the
+    non-negative time since the previous present phase.  The durations
+    sum exactly to ``e2e`` (``last − first``).
+    """
+
+    tx_hash: bytes
+    index: "int | None"
+    times: "dict[str, float]" = field(default_factory=dict)
+    durations: "dict[str, float]" = field(default_factory=dict)
+
+    @property
+    def e2e(self) -> float:
+        if not self.times:
+            return 0.0
+        return max(self.times.values()) - min(self.times.values())
+
+    @property
+    def committed(self) -> bool:
+        return "commit" in self.times
+
+
+class LifecycleRecorder:
+    """Collects per-tx phase stamps; disabled-by-default observer.
+
+    ``clock`` supplies the simulated time for call-sites that have no
+    clock in scope (the consensus layer) — :class:`Deployment` binds it
+    to its simulator when the recorder is enabled.  Call-sites with a
+    clock pass ``t=`` explicitly.
+
+    ``max_txs`` bounds memory for soak runs: once that many distinct
+    transactions carry stamps, *new* transactions are dropped (counted
+    in :attr:`dropped_txs`); already-tracked ones keep stamping.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        clock: "Callable[[], float] | None" = None,
+        max_txs: int = 1_000_000,
+    ):
+        self.enabled = enabled
+        self.clock = clock
+        self.max_txs = max_txs
+        self.dropped_txs = 0
+        #: tx_hash -> phase -> [(t, node), ...] raw stamps, append order
+        self._stamps: "dict[bytes, dict[str, list[tuple[float, int]]]]" = {}
+        #: tx_hash -> superblock index recorded at first commit stamp
+        self._index: "dict[bytes, int]" = {}
+
+    def __len__(self) -> int:
+        return len(self._stamps)
+
+    def bind_clock(self, clock: "Callable[[], float]") -> None:
+        self.clock = clock
+
+    def clear(self) -> None:
+        self._stamps.clear()
+        self._index.clear()
+        self.dropped_txs = 0
+
+    # -- stamping ---------------------------------------------------------------
+
+    def stamp(
+        self,
+        tx_hash: bytes,
+        phase: str,
+        *,
+        node: int = -1,
+        t: "float | None" = None,
+        index: "int | None" = None,
+    ) -> None:
+        """Record one phase crossing for ``tx_hash`` on ``node``."""
+        if not self.enabled:
+            return
+        if phase not in _PHASE_INDEX:
+            raise ValueError(f"unknown lifecycle phase {phase!r}")
+        if t is None:
+            t = self.clock() if self.clock is not None else 0.0
+        record = self._stamps.get(tx_hash)
+        if record is None:
+            if len(self._stamps) >= self.max_txs:
+                self.dropped_txs += 1
+                return
+            record = self._stamps[tx_hash] = {}
+        record.setdefault(phase, []).append((t, node))
+        if index is not None and tx_hash not in self._index:
+            self._index[tx_hash] = index
+
+    def stamp_txs(
+        self,
+        txs: Iterable,
+        phase: str,
+        *,
+        node: int = -1,
+        t: "float | None" = None,
+        index: "int | None" = None,
+    ) -> None:
+        """Stamp every transaction in ``txs`` (objects with ``tx_hash``)."""
+        if not self.enabled:
+            return
+        if t is None:
+            t = self.clock() if self.clock is not None else 0.0
+        for tx in txs:
+            self.stamp(tx.tx_hash, phase, node=node, t=t, index=index)
+
+    # -- resolution -------------------------------------------------------------
+
+    def resolve(self, tx_hash: bytes) -> "TxLifecycle | None":
+        """Monotone timeline for one tx (see module docstring), or None."""
+        raw = self._stamps.get(tx_hash)
+        if not raw:
+            return None
+        out = TxLifecycle(tx_hash=tx_hash, index=self._index.get(tx_hash))
+        prev: "float | None" = None
+        for phase in PHASES:
+            stamps = raw.get(phase)
+            if not stamps:
+                continue
+            if prev is None:
+                resolved = min(t for t, _ in stamps)
+            else:
+                onward = [t for t, _ in stamps if t >= prev]
+                # All stamps predate the previous phase (e.g. the origin
+                # node's pool admit precedes a peer's gossip arrival and
+                # no later re-admission exists): clamp to zero duration
+                # rather than produce a negative one.
+                resolved = min(onward) if onward else prev
+                out.durations[phase] = resolved - prev
+            out.times[phase] = resolved
+            prev = resolved
+        return out
+
+    def resolve_all(self) -> "list[TxLifecycle]":
+        """Every tracked tx resolved, in first-stamp (insertion) order."""
+        resolved = (self.resolve(tx_hash) for tx_hash in self._stamps)
+        return [r for r in resolved if r is not None]
+
+    # -- export -----------------------------------------------------------------
+
+    def to_records(self) -> "list[dict]":
+        """JSON-safe raw stamps: one record per tx, hex hashes."""
+        out = []
+        for tx_hash, phases in self._stamps.items():
+            out.append({
+                "tx": tx_hash.hex(),
+                "index": self._index.get(tx_hash),
+                "stamps": {
+                    phase: [[round(t, 9), node] for t, node in stamps]
+                    for phase, stamps in phases.items()
+                },
+            })
+        return out
+
+    @classmethod
+    def from_records(cls, records: "list[dict]") -> "LifecycleRecorder":
+        """Inverse of :meth:`to_records` (offline analysis / the CLI)."""
+        recorder = cls(enabled=True)
+        for record in records:
+            tx_hash = bytes.fromhex(record["tx"])
+            index = record.get("index")
+            for phase, stamps in record.get("stamps", {}).items():
+                for t, node in stamps:
+                    recorder.stamp(
+                        tx_hash, phase, node=int(node), t=float(t),
+                        index=index,
+                    )
+        return recorder
+
+
+#: disabled by default, mirroring the tracer and the metrics registry
+_default_recorder = LifecycleRecorder(enabled=False)
+
+
+def get_recorder() -> LifecycleRecorder:
+    return _default_recorder
+
+
+def set_recorder(recorder: LifecycleRecorder) -> LifecycleRecorder:
+    global _default_recorder
+    previous = _default_recorder
+    _default_recorder = recorder
+    return previous
+
+
+@contextmanager
+def use_recorder(recorder: LifecycleRecorder):
+    """Scope the global recorder to ``recorder`` for a with-block."""
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+
+
+def enabled() -> bool:
+    """Fast hot-path guard: is the global recorder collecting?"""
+    return _default_recorder.enabled
+
+
+def stamp(
+    tx_hash: bytes,
+    phase: str,
+    *,
+    node: int = -1,
+    t: "float | None" = None,
+    index: "int | None" = None,
+) -> None:
+    """Stamp on the global recorder (one-branch no-op while disabled)."""
+    recorder = _default_recorder
+    if recorder.enabled:
+        recorder.stamp(tx_hash, phase, node=node, t=t, index=index)
+
+
+def stamp_txs(
+    txs: Iterable,
+    phase: str,
+    *,
+    node: int = -1,
+    t: "float | None" = None,
+    index: "int | None" = None,
+) -> None:
+    """Stamp many transactions on the global recorder."""
+    recorder = _default_recorder
+    if recorder.enabled:
+        recorder.stamp_txs(txs, phase, node=node, t=t, index=index)

@@ -1,0 +1,233 @@
+"""Chrome trace-event (Perfetto) export of tracer + lifecycle records.
+
+Converts the tracer's JSONL span/event records — and, optionally, the
+per-tx lifecycle stamps — into the Trace Event Format understood by
+``ui.perfetto.dev`` and ``chrome://tracing``:
+
+* **pid 1 "wall clock"** — every tracer span becomes a complete event
+  (``"ph": "X"``) and every point event an instant (``"ph": "i"``), on
+  a per-node track (``tid`` = the record's ``node`` attr + 1; records
+  without a node land on tid 0, the *driver* track).  Timestamps are
+  the tracer's wall-monotonic seconds, scaled to microseconds.
+* **pid 2 "simulated clock"** — each lifecycle phase crossing becomes a
+  small slice on the stamping node's track at its *simulated* time, and
+  the first ``max_flows`` transactions additionally get flow arrows
+  (``"ph": "s"/"t"/"f"``) threading their slices together, so a tx can
+  be followed across nodes through submit → pool → … → receipt.
+
+The two clock domains live in separate processes because their time
+bases are unrelated; within each process timestamps are coherent.
+
+:func:`validate_trace_event` checks the structural contract (required
+keys, non-negative µs timestamps and durations, globally sorted ``ts``,
+every flow id opened exactly once and closed exactly once) — CI runs it
+over a freshly exported trace so format drift fails the gate.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.lifecycle import PHASES
+
+__all__ = ["to_trace_events", "validate_trace_event", "load_jsonl"]
+
+_US = 1_000_000  # seconds -> microseconds (trace-event unit)
+#: rendered width of a lifecycle phase-crossing slice (µs of sim time)
+_STAMP_SLICE_US = 200
+
+
+def load_jsonl(path: str) -> "list[dict]":
+    """Read a tracer JSONL dump (``--trace-out`` file) back into records."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _node_tid(attrs: dict) -> int:
+    node = attrs.get("node")
+    return int(node) + 1 if isinstance(node, (int, float)) else 0
+
+
+def to_trace_events(
+    records: "list[dict]",
+    *,
+    lifecycle_records: "list[dict] | None" = None,
+    max_flows: int = 200,
+) -> dict:
+    """Build the trace-event document (see module docstring)."""
+    events: "list[dict]" = []
+    wall_tids: "set[int]" = set()
+    sim_tids: "set[int]" = set()
+
+    for record in sorted(records, key=lambda r: r.get("ts", 0.0)):
+        attrs = record.get("attrs", {})
+        tid = _node_tid(attrs)
+        wall_tids.add(tid)
+        base = {
+            "name": record.get("name", "?"),
+            "cat": "trace",
+            "pid": 1,
+            "tid": tid,
+            "ts": round(float(record.get("ts", 0.0)) * _US, 3),
+            "args": dict(attrs),
+        }
+        if record.get("type") == "span":
+            base["ph"] = "X"
+            base["dur"] = round(max(0.0, float(record.get("dur", 0.0))) * _US, 3)
+            if "span_id" in record:
+                base["args"]["span_id"] = record["span_id"]
+        else:
+            base["ph"] = "i"
+            base["s"] = "t"  # thread-scoped instant
+        events.append(base)
+
+    flow_count = 0
+    dropped_flows = 0
+    for flow_id, record in enumerate(lifecycle_records or (), start=1):
+        # earliest stamp per phase, pipeline order, then time-sorted so
+        # the flow arrows always run forward
+        points = []
+        for phase in PHASES:
+            stamps = record.get("stamps", {}).get(phase)
+            if stamps:
+                t, node = min(stamps, key=lambda s: s[0])
+                points.append((float(t), int(node), phase))
+        points.sort(key=lambda p: p[0])
+        if not points:
+            continue
+        short = record.get("tx", "")[:12]
+        with_flow = flow_count < max_flows
+        if with_flow:
+            flow_count += 1
+        else:
+            dropped_flows += 1
+        for i, (t, node, phase) in enumerate(points):
+            tid = node + 1 if node >= 0 else 0
+            sim_tids.add(tid)
+            ts = round(t * _US, 3)
+            events.append({
+                "name": phase,
+                "cat": "lifecycle",
+                "ph": "X",
+                "pid": 2,
+                "tid": tid,
+                "ts": ts,
+                "dur": _STAMP_SLICE_US,
+                "args": {"tx": short, "phase": phase},
+            })
+            if not with_flow or len(points) < 2:
+                continue
+            flow = {
+                "name": f"tx {short}",
+                "cat": "tx-flow",
+                "pid": 2,
+                "tid": tid,
+                "ts": ts,
+                "id": flow_id,
+            }
+            if i == 0:
+                flow["ph"] = "s"
+            elif i == len(points) - 1:
+                flow["ph"] = "f"
+                flow["bp"] = "e"  # bind to the enclosing slice
+            else:
+                flow["ph"] = "t"
+            events.append(flow)
+
+    meta: "list[dict]" = []
+    for pid, name in ((1, "wall clock"), (2, "simulated clock")):
+        meta.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0, "ts": 0,
+            "args": {"name": name},
+        })
+    for pid, tids in ((1, wall_tids), (2, sim_tids)):
+        for tid in sorted(tids):
+            meta.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "ts": 0,
+                "args": {"name": "driver" if tid == 0 else f"node {tid - 1}"},
+            })
+
+    events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))
+    doc = {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.telemetry.trace_event",
+            "flows": flow_count,
+            "flows_dropped": dropped_flows,
+        },
+    }
+    return doc
+
+
+def validate_trace_event(doc: dict) -> "list[str]":
+    """Structural validation; returns a list of problems (empty = valid)."""
+    problems: "list[str]" = []
+    if not isinstance(doc, dict) or not isinstance(
+        doc.get("traceEvents"), list
+    ):
+        return ["document must be an object with a traceEvents list"]
+
+    flow_opens: "dict[object, int]" = {}
+    flow_closes: "dict[object, int]" = {}
+    flow_first: "dict[object, float]" = {}
+    flow_last: "dict[object, float]" = {}
+    prev_ts: "float | None" = None
+
+    for i, ev in enumerate(doc["traceEvents"]):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in ev:
+                problems.append(f"{where}: missing required key {key!r}")
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: ts missing or non-numeric")
+            continue
+        if ts < 0:
+            problems.append(f"{where}: negative ts {ts}")
+        if prev_ts is not None and ts < prev_ts:
+            problems.append(
+                f"{where}: ts {ts} not monotonic (previous {prev_ts})"
+            )
+        prev_ts = ts
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event needs non-negative dur")
+        elif ph in ("s", "t", "f"):
+            flow_id = ev.get("id")
+            if flow_id is None:
+                problems.append(f"{where}: flow event missing id")
+                continue
+            if ph == "s":
+                flow_opens[flow_id] = flow_opens.get(flow_id, 0) + 1
+                flow_first.setdefault(flow_id, ts)
+            elif ph == "f":
+                flow_closes[flow_id] = flow_closes.get(flow_id, 0) + 1
+                flow_last[flow_id] = ts
+
+    for flow_id, opens in flow_opens.items():
+        closes = flow_closes.get(flow_id, 0)
+        if opens != 1 or closes != 1:
+            problems.append(
+                f"flow {flow_id}: expected exactly one s and one f, "
+                f"got {opens} s / {closes} f"
+            )
+        elif flow_last[flow_id] < flow_first[flow_id]:
+            problems.append(f"flow {flow_id}: finish precedes start")
+    for flow_id in flow_closes:
+        if flow_id not in flow_opens:
+            problems.append(f"flow {flow_id}: f without matching s")
+    return problems

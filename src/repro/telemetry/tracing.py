@@ -12,6 +12,15 @@ Like the metrics registry, the process-global tracer starts *disabled*:
 (or a test) enables it.  Simulation call-sites pass the simulated clock
 as an ordinary attribute (e.g. ``sim_now=...``) — ``ts`` is always wall
 monotonic time.
+
+Memory stays bounded two ways (soak runs must not grow without limit):
+
+* ``Tracer(max_records=N)`` keeps a ring buffer of the newest N records
+  (``dropped_records`` counts what fell off the front);
+* ``stream_to(path)`` flushes the buffer to a JSONL file every
+  ``flush_every`` records, so an hours-long run holds at most one chunk
+  in memory.  ``dumps()`` still returns the whole (buffered) trace for
+  small runs.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from __future__ import annotations
 import itertools
 import json
 import time
+from collections import deque
 from contextlib import contextmanager, nullcontext
 from typing import Iterator
 
@@ -41,13 +51,24 @@ class Tracer:
     back to the span that produced it via :attr:`current_span_id`.
     """
 
-    def __init__(self, *, enabled: bool = True, clock=time.monotonic):
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        clock=time.monotonic,
+        max_records: "int | None" = None,
+    ):
         self.enabled = enabled
         self._clock = clock
         self._t0 = clock()
-        self._records: list[dict] = []
+        self._records: "deque[dict]" = deque(maxlen=max_records)
         self._next_span = itertools.count(1)
         self._stack: list[str] = []
+        #: records shed by the ring buffer (max_records) since last clear
+        self.dropped_records = 0
+        self._stream = None
+        self._stream_path: "str | None" = None
+        self._flush_every = 10_000
 
     # -- recording -------------------------------------------------------------
 
@@ -59,6 +80,14 @@ class Tracer:
         """ID of the innermost open span, or None outside any span."""
         return self._stack[-1] if self._stack else None
 
+    def _append(self, record: dict) -> None:
+        records = self._records
+        if records.maxlen is not None and len(records) == records.maxlen:
+            self.dropped_records += 1  # deque sheds the oldest on append
+        records.append(record)
+        if self._stream is not None and len(records) >= self._flush_every:
+            self.flush_stream()
+
     def event(self, name: str, **attrs) -> None:
         """Record a point event (tagged with the enclosing span, if any)."""
         if not self.enabled:
@@ -68,7 +97,7 @@ class Tracer:
         }
         if self._stack:
             record["span_id"] = self._stack[-1]
-        self._records.append(record)
+        self._append(record)
 
     @contextmanager
     def span(self, name: str, **attrs) -> Iterator[dict]:
@@ -85,18 +114,28 @@ class Tracer:
             yield attrs
         finally:
             end = self.now()
-            self._stack.pop()
+            # Pop *our own* frame even if clear() ran while we were open —
+            # popping blindly would corrupt a sibling span's stack entry.
+            if self._stack and self._stack[-1] == span_id:
+                self._stack.pop()
+            else:
+                try:
+                    self._stack.remove(span_id)
+                except ValueError:
+                    pass  # clear() dropped us; nothing left to unwind
             record = {
                 "ts": round(start, 6),
                 "type": "span",
                 "name": name,
                 "span_id": span_id,
-                "dur": round(end - start, 6),
+                # a clear() mid-span resets t0; clamp instead of recording
+                # a negative duration from the incoherent clock bases
+                "dur": round(max(0.0, end - start), 6),
                 "attrs": attrs,
             }
             if parent_id is not None:
                 record["parent_id"] = parent_id
-            self._records.append(record)
+            self._append(record)
 
     # -- access / export -------------------------------------------------------
 
@@ -105,21 +144,84 @@ class Tracer:
         return list(self._records)
 
     def clear(self) -> None:
+        """Drop buffered records; safe to call while spans are open."""
         self._records.clear()
+        self.dropped_records = 0
         self._t0 = self._clock()
-        # Restart span IDs so repeated captured runs produce identical
-        # traces (and exemplar span references) for identical work.
-        self._next_span = itertools.count(1)
-        self._stack.clear()
+        if not self._stack:
+            # Restart span IDs so repeated captured runs produce identical
+            # traces (and exemplar span references) for identical work.
+            # With spans still open the counter must keep running — a
+            # restart would hand a live span's ID to a new span.
+            self._next_span = itertools.count(1)
 
     def dumps(self) -> str:
-        """The whole trace as JSONL (one record per line, ts-ordered)."""
+        """The whole buffered trace as JSONL (one record per line,
+        ts-ordered).  When streaming, this covers the un-flushed tail."""
         ordered = sorted(self._records, key=lambda r: r["ts"])
         return "".join(json.dumps(r, default=str) + "\n" for r in ordered)
 
     def dump(self, path: str) -> None:
+        if self._stream is not None and path == self._stream_path:
+            self.close_stream()
+            return
         with open(path, "w") as fh:
             fh.write(self.dumps())
+
+    def dump_trace_event(self, path: str, *, lifecycle_records=None) -> None:
+        """Export the buffered trace as Chrome trace-event JSON (loadable
+        at ``ui.perfetto.dev`` / ``chrome://tracing``): per-node tracks,
+        plus — when per-tx ``lifecycle_records`` are given — flow arrows
+        following each transaction across nodes on the simulated clock."""
+        from repro.telemetry.trace_event import to_trace_events
+
+        doc = to_trace_events(
+            self.records, lifecycle_records=lifecycle_records
+        )
+        with open(path, "w") as fh:
+            json.dump(doc, fh, default=str)
+            fh.write("\n")
+
+    # -- streaming flush (bounded-memory soak runs) ----------------------------
+
+    @property
+    def stream_path(self) -> "str | None":
+        """Path of the active streaming target (None when buffering)."""
+        return self._stream_path
+
+    def stream_to(self, path: str, *, flush_every: int = 10_000) -> None:
+        """Flush the trace incrementally to ``path`` as JSONL.
+
+        Every ``flush_every`` buffered records are appended to the file
+        and dropped from memory, so arbitrarily long runs hold one chunk
+        at most.  Records are ts-ordered *within* each chunk (a span's
+        record lands at span end, so chunk boundaries may interleave a
+        long span behind later events — the trace-event exporter and any
+        serious consumer re-sort by ``ts``).
+        """
+        self.close_stream()
+        self._stream = open(path, "w")
+        self._stream_path = path
+        self._flush_every = max(1, int(flush_every))
+
+    def flush_stream(self) -> None:
+        """Write buffered records to the stream file and drop them."""
+        if self._stream is None or not self._records:
+            return
+        ordered = sorted(self._records, key=lambda r: r["ts"])
+        self._records.clear()
+        for record in ordered:
+            self._stream.write(json.dumps(record, default=str) + "\n")
+        self._stream.flush()
+
+    def close_stream(self) -> None:
+        """Flush the tail and close the streaming file (if any)."""
+        if self._stream is None:
+            return
+        self.flush_stream()
+        self._stream.close()
+        self._stream = None
+        self._stream_path = None
 
 
 #: disabled by default, mirroring the metrics registry

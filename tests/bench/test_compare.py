@@ -144,6 +144,78 @@ class TestDiff:
         assert statuses["headline:only_new"] == "added"
 
 
+class TestLatencyBreakdownGates:
+    def test_losing_execute_dominance_regresses(self):
+        old = _artifact_doc({"latency_breakdown:dominant_execute": 1.0})
+        new = _artifact_doc({"latency_breakdown:dominant_execute": 0.0})
+        result = diff_docs(old, new)
+        assert [d.key for d in result.regressions] == [
+            "headline:latency_breakdown:dominant_execute"
+        ]
+
+    def test_bucket_p99_growth_regresses_drop_improves(self):
+        old = _artifact_doc({"latency_breakdown:execute_p99_s": 2.0})
+        worse = _artifact_doc({"latency_breakdown:execute_p99_s": 2.6})
+        better = _artifact_doc({"latency_breakdown:execute_p99_s": 1.0})
+        assert not diff_docs(old, worse).ok
+        result = diff_docs(old, better)
+        assert result.ok
+        assert result.deltas[0].status == "improved"
+
+    def test_exec_share_is_informational(self):
+        old = _artifact_doc({"latency_breakdown:exec_share": 0.2})
+        new = _artifact_doc({"latency_breakdown:exec_share": 0.9})
+        (delta,) = diff_docs(old, new).deltas
+        assert delta.status == "info"
+
+    def test_tiny_absolute_jitter_absorbed_by_slack(self):
+        old = _artifact_doc({"latency_breakdown:admit_p50_s": 0.01})
+        new = _artifact_doc({"latency_breakdown:admit_p50_s": 0.05})
+        assert diff_docs(old, new).ok  # +400% but under 0.1s abs slack
+
+    def test_sim_phase_keys_gated(self):
+        old = _artifact_doc({"srbb_phase_pool_wait_p99_s": 1.0})
+        new = _artifact_doc({"srbb_phase_pool_wait_p99_s": 2.0})
+        assert not diff_docs(old, new).ok
+
+
+def _snapshot_with_exemplars(latency: float) -> dict:
+    snap = _snapshot()
+    hist = snap["srbb_sim_commit_latency_seconds"]
+    hist["samples"][0]["p99"] = latency
+    hist["samples"][0]["exemplars"] = [
+        {"value": latency, "span_id": "s7", "ts": 12.5},
+        {"value": latency / 2, "span_id": "s3", "ts": 1.0},
+    ]
+    return snap
+
+
+class TestExemplarSurfacing:
+    def test_exemplars_collected_from_new_doc(self):
+        result = diff_docs(_snapshot(), _snapshot_with_exemplars(5.0))
+        exemplars = result.exemplars["srbb_sim_commit_latency_seconds"]
+        assert [e["span_id"] for e in exemplars] == ["s7", "s3"]
+
+    def test_regression_row_links_worst_spans(self):
+        text = render_comparison(
+            diff_docs(_snapshot(), _snapshot_with_exemplars(5.0))
+        )
+        assert "srbb_sim_commit_latency_seconds:p99" in text
+        # worst observation first, linked by span ID and timestamp
+        assert "↳ span s7 observed 5 at ts=12.5" in text
+
+    def test_no_exemplar_lines_without_regression(self):
+        snap = _snapshot_with_exemplars(0.5)
+        text = render_comparison(diff_docs(snap, snap))
+        assert "↳ span" not in text
+
+    def test_prometheus_input_yields_no_exemplars(self):
+        reg = MetricsRegistry()
+        reg.counter("srbb_sim_txs_sent_total").inc(7)
+        result = diff_docs(to_prometheus(reg), to_prometheus(reg))
+        assert result.exemplars == {}
+
+
 class TestRender:
     def test_regression_named_in_output(self):
         old = _artifact_doc({"throughput_tps": 100.0})

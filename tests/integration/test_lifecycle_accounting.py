@@ -1,0 +1,127 @@
+"""Lifecycle accounting invariants across a chaos crash/restart run.
+
+The recorder stamps every phase boundary on every replica — including
+re-admissions after a crash recycles a block and duplicate commits during
+snapshot catch-up — and ``resolve()`` must still produce, per tx, a
+monotone timeline whose phase durations are non-negative and telescope
+exactly to the end-to-end commit latency.  Recording must also be a pure
+observation: the same run with the recorder enabled and disabled decides
+byte-identical chains.
+"""
+
+import pytest
+
+from repro import params
+from repro.core.deployment import Deployment, fund_clients
+from repro.core.transaction import make_transfer
+from repro.faults import FaultSchedule
+from repro.net.topology import single_region_topology
+from repro.telemetry import analyze_critical_path, lifecycle
+from repro.telemetry.lifecycle import LifecycleRecorder
+
+
+def _chaos_deployment(schedule_seed=13, deployment_seed=3):
+    """Crash + restart + lossy links + partition (tier-1 chaos shape)."""
+    clients, balances = fund_clients(6)
+    schedule = (
+        FaultSchedule(seed=schedule_seed)
+        .drop_rate(0.05, until=20.0)
+        .crash(3, at=3.0)
+        .restart(3, at=8.0)
+        .hard_partition([[0, 1], [2, 3]], at=11.0, heal_at=14.0)
+    )
+    deployment = Deployment(
+        protocol=params.ProtocolParams(n=4, watchdog_stall_rounds=8),
+        topology=single_region_topology(4),
+        extra_balances=balances,
+        net_params=params.NetParams(reliable_delivery=True),
+        fault_schedule=schedule,
+        seed=deployment_seed,
+    )
+    txs = []
+    for j in range(4):
+        for i, client in enumerate(clients):
+            k = j * len(clients) + i
+            tx = make_transfer(
+                client, clients[(i + 1) % len(clients)].address, 1,
+                nonce=j, created_at=0.0,
+            )
+            txs.append(tx)
+            deployment.submit(tx, validator_id=k % 3, at=0.3 + k * 0.4)
+    return deployment, txs
+
+
+def _run_chaos(recorder=None):
+    if recorder is None:
+        deployment, txs = _chaos_deployment()
+        deployment.start()
+        deployment.run_until(45.0)
+        return deployment, txs
+    with lifecycle.use_recorder(recorder):
+        deployment, txs = _chaos_deployment()
+        deployment.start()
+        deployment.run_until(45.0)
+    return deployment, txs
+
+
+class TestAccountingInvariants:
+    def test_durations_nonnegative_and_telescope_under_chaos(self):
+        recorder = LifecycleRecorder()
+        deployment, txs = _run_chaos(recorder)
+        assert deployment.safety_holds()
+        # the chaos actually fired, so recycles/catch-up paths stamped
+        applied = [k for k, _, _ in deployment.fault_controller.applied]
+        assert "crash" in applied and "restart" in applied
+
+        resolved = {lc.tx_hash: lc for lc in recorder.resolve_all()}
+        assert len(resolved) >= len(txs)
+        for tx in txs:
+            lc = resolved[tx.tx_hash]
+            assert lc.committed, f"tx {tx.tx_hash.hex()[:8]} never committed"
+            assert all(d >= 0.0 for d in lc.durations.values()), lc.durations
+            assert sum(lc.durations.values()) == pytest.approx(lc.e2e)
+            # submission reached a validator before anything else
+            assert lc.times["submit"] == min(lc.times.values())
+            assert lc.times["commit"] >= lc.times["submit"]
+
+    def test_commit_time_matches_chain_commit(self):
+        recorder = LifecycleRecorder()
+        deployment, txs = _run_chaos(recorder)
+        # resolved commit-phase time is a real commit instant: no earlier
+        # than the earliest replica's execution bookkeeping for that tx
+        chain = deployment.validators[0].blockchain
+        for tx in txs[:6]:
+            lc = recorder.resolve(tx.tx_hash)
+            committed_at = chain.commit_times.get(tx.tx_hash)
+            assert committed_at is not None
+            assert lc.times["commit"] <= committed_at + 1e-9
+            if "execute" in lc.times:
+                assert lc.times["execute"] >= lc.times["commit"]
+
+    def test_critical_path_analysis_over_chaos_run(self):
+        recorder = LifecycleRecorder()
+        _run_chaos(recorder)
+        report = analyze_critical_path(recorder)
+        assert report.committed >= 24
+        e2e = report.e2e.mean
+        total = sum(s.mean for s in report.raw.values())
+        assert total == pytest.approx(e2e, rel=1e-9)
+        assert report.superblocks  # grouped per decided superblock
+
+
+class TestRecordingIsPureObservation:
+    def test_enabled_vs_disabled_runs_identical(self):
+        outcomes = []
+        for recorder in (LifecycleRecorder(), None):
+            deployment, _ = _run_chaos(recorder)
+            stats = deployment.network.stats
+            outcomes.append((
+                [tuple(v.blockchain.block_hashes())
+                 for v in deployment.validators],
+                [v.blockchain.state.state_root()
+                 for v in deployment.validators],
+                stats.messages,
+                stats.retransmissions,
+                stats.dropped,
+            ))
+        assert outcomes[0] == outcomes[1]

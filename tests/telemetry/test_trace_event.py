@@ -1,0 +1,143 @@
+"""Chrome trace-event export: tracks, flows, validation, JSONL loader."""
+
+import json
+
+from repro.telemetry import Tracer
+from repro.telemetry.lifecycle import LifecycleRecorder
+from repro.telemetry.trace_event import (
+    load_jsonl,
+    to_trace_events,
+    validate_trace_event,
+)
+
+
+def _tracer_records():
+    tracer = Tracer(clock=lambda: 0.0)
+    tracer.event("node.commit", node=0, sim_now=1.0)
+    with tracer.span("sim.run", chain="srbb"):
+        pass
+    return tracer.records
+
+
+def _lifecycle_records(n=1):
+    rec = LifecycleRecorder()
+    for i in range(n):
+        tx = bytes([i]) * 4
+        rec.stamp(tx, "submit", node=0, t=0.1 * i)
+        rec.stamp(tx, "pool", node=0, t=0.1 * i + 0.2)
+        rec.stamp(tx, "commit", node=1, t=0.1 * i + 1.0)
+    return rec.to_records()
+
+
+class TestToTraceEvents:
+    def test_spans_and_events_on_wall_clock_process(self):
+        doc = to_trace_events(_tracer_records())
+        payload = [e for e in doc["traceEvents"] if e["ph"] in ("X", "i")]
+        assert {e["pid"] for e in payload} == {1}
+        by_name = {e["name"]: e for e in payload}
+        assert by_name["node.commit"]["ph"] == "i"
+        assert by_name["node.commit"]["tid"] == 1  # node 0 -> tid 1
+        assert by_name["sim.run"]["ph"] == "X"
+        assert by_name["sim.run"]["tid"] == 0  # no node attr -> driver
+        assert by_name["sim.run"]["args"]["span_id"] == "s1"
+
+    def test_lifecycle_slices_and_flow_arrows(self):
+        doc = to_trace_events([], lifecycle_records=_lifecycle_records())
+        sim = [e for e in doc["traceEvents"] if e.get("pid") == 2]
+        slices = [e for e in sim if e["ph"] == "X"]
+        flows = [e for e in sim if e["ph"] in ("s", "t", "f")]
+        assert [e["name"] for e in slices] == ["submit", "pool", "commit"]
+        assert [e["ph"] for e in flows] == ["s", "t", "f"]
+        assert flows[-1]["bp"] == "e"
+        assert len({e["id"] for e in flows}) == 1
+        assert doc["otherData"]["flows"] == 1
+
+    def test_max_flows_cap_counts_dropped(self):
+        doc = to_trace_events(
+            [], lifecycle_records=_lifecycle_records(5), max_flows=2
+        )
+        assert doc["otherData"]["flows"] == 2
+        assert doc["otherData"]["flows_dropped"] == 3
+        # capped txs keep their slices, just without arrows
+        slices = [
+            e for e in doc["traceEvents"]
+            if e.get("pid") == 2 and e["ph"] == "X"
+        ]
+        assert len(slices) == 15
+
+    def test_single_point_tx_gets_no_flow(self):
+        rec = LifecycleRecorder()
+        rec.stamp(b"solo", "submit", node=0, t=0.0)
+        doc = to_trace_events([], lifecycle_records=rec.to_records())
+        assert not [
+            e for e in doc["traceEvents"] if e["ph"] in ("s", "t", "f")
+        ]
+
+    def test_metadata_names_processes_and_threads(self):
+        doc = to_trace_events(
+            _tracer_records(), lifecycle_records=_lifecycle_records()
+        )
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {
+            (e["pid"], e["tid"], e["args"]["name"])
+            for e in meta if e["name"] == "thread_name"
+        }
+        assert (1, 0, "driver") in names
+        assert (1, 1, "node 0") in names
+        assert (2, 2, "node 1") in names
+
+    def test_output_validates_clean(self):
+        doc = to_trace_events(
+            _tracer_records(), lifecycle_records=_lifecycle_records(3)
+        )
+        assert validate_trace_event(doc) == []
+
+
+class TestValidate:
+    def test_rejects_non_document(self):
+        assert validate_trace_event([]) != []
+        assert validate_trace_event({"traceEvents": 3}) != []
+
+    def test_missing_keys_flagged(self):
+        doc = {"traceEvents": [{"ph": "i", "ts": 0}]}
+        problems = validate_trace_event(doc)
+        assert any("pid" in p for p in problems)
+
+    def test_non_monotonic_ts_flagged(self):
+        doc = {"traceEvents": [
+            {"ph": "i", "pid": 1, "tid": 0, "name": "a", "ts": 5, "s": "t"},
+            {"ph": "i", "pid": 1, "tid": 0, "name": "b", "ts": 1, "s": "t"},
+        ]}
+        assert any("monotonic" in p for p in validate_trace_event(doc))
+
+    def test_negative_dur_flagged(self):
+        doc = {"traceEvents": [
+            {"ph": "X", "pid": 1, "tid": 0, "name": "a", "ts": 0, "dur": -1},
+        ]}
+        assert any("dur" in p for p in validate_trace_event(doc))
+
+    def test_unbalanced_flow_flagged(self):
+        doc = {"traceEvents": [
+            {"ph": "s", "pid": 2, "tid": 0, "name": "f", "ts": 0, "id": 9},
+        ]}
+        assert any("flow 9" in p for p in validate_trace_event(doc))
+
+
+class TestLoadJsonl(object):
+    def test_roundtrip_through_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        records = _tracer_records()
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records) + "\n"
+        )
+        assert load_jsonl(str(path)) == records
+
+
+class TestTracerDumpTraceEvent:
+    def test_dump_writes_valid_document(self, tmp_path):
+        tracer = Tracer(clock=lambda: 0.0)
+        tracer.event("node.commit", node=0)
+        path = tmp_path / "te.json"
+        tracer.dump_trace_event(str(path))
+        doc = json.loads(path.read_text())
+        assert validate_trace_event(doc) == []

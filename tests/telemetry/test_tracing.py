@@ -82,6 +82,89 @@ class TestTracer:
         assert tracer.records[0]["ts"] == 0.0
 
 
+class TestBoundedMemory:
+    def test_ring_buffer_sheds_oldest(self):
+        tracer = Tracer(max_records=3)
+        for i in range(5):
+            tracer.event(f"e{i}")
+        assert [r["name"] for r in tracer.records] == ["e2", "e3", "e4"]
+        assert tracer.dropped_records == 2
+
+    def test_clear_resets_drop_counter(self):
+        tracer = Tracer(max_records=1)
+        tracer.event("a")
+        tracer.event("b")
+        tracer.clear()
+        assert tracer.dropped_records == 0
+
+    def test_stream_to_flushes_and_empties_buffer(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        tracer = Tracer()
+        tracer.stream_to(str(path), flush_every=2)
+        tracer.event("a")
+        tracer.event("b")  # hits flush_every -> flushed to disk
+        assert tracer.records == []
+        tracer.event("tail")
+        tracer.close_stream()
+        names = [json.loads(l)["name"] for l in path.read_text().splitlines()]
+        assert names == ["a", "b", "tail"]
+        assert tracer.stream_path is None
+
+    def test_dump_to_stream_path_closes_stream(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        tracer = Tracer()
+        tracer.stream_to(str(path))
+        tracer.event("only")
+        tracer.dump(str(path))  # same path: finalize the stream, no rewrite
+        assert tracer.stream_path is None
+        assert json.loads(path.read_text())["name"] == "only"
+
+
+class TestClearWhileSpansOpen:
+    """clear() must not corrupt open spans (regression: satellite #3)."""
+
+    def test_open_span_survives_clear(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer"):
+            clock.t += 1.0
+            tracer.clear()
+            clock.t += 2.0
+        (rec,) = tracer.records
+        assert rec["name"] == "outer"
+        assert rec["dur"] >= 0.0  # clock rebased mid-span; never negative
+
+    def test_sibling_span_after_clear_keeps_own_frame(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.clear()
+            with tracer.span("inner"):
+                assert tracer.current_span_id == "s2"
+            # inner popped its own frame, outer's remains
+            assert tracer.current_span_id == "s1"
+        assert tracer.current_span_id is None
+
+    def test_span_ids_not_reused_while_open(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.clear()
+            # restart of the counter here would hand s1 (the live outer
+            # span's ID) to the new span
+            with tracer.span("inner"):
+                pass
+        ids = [r["span_id"] for r in tracer.records]
+        assert len(ids) == len(set(ids))
+
+    def test_clear_with_no_open_spans_restarts_ids(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        with tracer.span("b"):
+            pass
+        assert tracer.records[0]["span_id"] == "s1"
+
+
 class TestSpanIds:
     def test_deterministic_ids_and_parent_links(self):
         tracer = Tracer()
