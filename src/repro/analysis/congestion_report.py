@@ -66,6 +66,18 @@ def _span_rows(trace_records: "list[dict]", top: int = 10) -> "list[tuple]":
     return [(name, int(c), t) for name, (c, t) in rows]
 
 
+def _dropped_records(trace_records: "list[dict]") -> int:
+    """Records the tracer's ring buffer shed, per the ``tracer.dropped``
+    meta trailer stamped into truncated traces (0 when absent)."""
+    for record in trace_records:
+        if (
+            record.get("type") == "meta"
+            and record.get("name") == "tracer.dropped"
+        ):
+            return int(record.get("dropped_records", 0))
+    return 0
+
+
 def build_congestion_report(
     *,
     samples: "list[dict] | None" = None,
@@ -81,17 +93,19 @@ def build_congestion_report(
 
         critical = analyze(lifecycle_records, trace_records=trace_records)
     span_rows = _span_rows(trace_records) if trace_records else []
+    dropped = _dropped_records(trace_records) if trace_records else 0
     if html:
         return _render_html(
             samples=samples, critical=critical, span_rows=span_rows,
-            title=title,
+            dropped=dropped, title=title,
         )
     return _render_text(
-        samples=samples, critical=critical, span_rows=span_rows, title=title
+        samples=samples, critical=critical, span_rows=span_rows,
+        dropped=dropped, title=title,
     )
 
 
-def _render_text(*, samples, critical, span_rows, title) -> str:
+def _render_text(*, samples, critical, span_rows, dropped=0, title) -> str:
     sections = [title, "=" * len(title)]
     if critical is not None:
         sections.append("")
@@ -107,12 +121,18 @@ def _render_text(*, samples, critical, span_rows, title) -> str:
         sections.append(f"{'span':<24} {'count':>7} {'total':>10}")
         for name, count, total in span_rows:
             sections.append(f"{name:<24} {count:>7} {total:>9.3f}s")
+    if dropped:
+        sections.append("")
+        sections.append(
+            f"⚠ trace truncated: ring buffer dropped {dropped} oldest "
+            "records — span counts above under-count the early run"
+        )
     if len(sections) == 2:
         sections.append("no inputs — pass --observatory/--lifecycle/--trace")
     return "\n".join(sections) + "\n"
 
 
-def _render_html(*, samples, critical, span_rows, title) -> str:
+def _render_html(*, samples, critical, span_rows, dropped=0, title) -> str:
     body = [
         "<!doctype html><html><head><meta charset='utf-8'>",
         f"<title>{_html.escape(title)}</title>",
@@ -143,6 +163,11 @@ def _render_html(*, samples, critical, span_rows, title) -> str:
                 f"<td>{total:.3f}s</td></tr>"
             )
         body.append("</table>")
+    if dropped:
+        body.append(
+            f"<p>⚠ trace truncated: ring buffer dropped {dropped} oldest "
+            "records — span counts above under-count the early run</p>"
+        )
     if critical is None and samples is None and not span_rows:
         body.append("<p>no inputs — pass --observatory/--lifecycle/"
                     "--trace</p>")

@@ -24,12 +24,14 @@ from repro.bench.artifact import (
 )
 from repro.bench.compare import (
     DEFAULT_THRESHOLDS,
+    WALL_CLOCK_HEADLINE_MARKERS,
     ComparisonResult,
     MetricDelta,
     Threshold,
     compare_files,
     diff_docs,
     flatten_doc,
+    is_wall_clock_key,
     render_comparison,
 )
 from repro.bench.runner import run_scenario, run_scenarios
@@ -38,6 +40,7 @@ from repro.bench.scenarios import (
     cheapest_scenarios,
     get_scenario,
     run_chaos_soak,
+    run_engine_scaling,
     scenario_names,
 )
 
@@ -49,6 +52,7 @@ __all__ = [
     "MetricDelta",
     "Scenario",
     "Threshold",
+    "WALL_CLOCK_HEADLINE_MARKERS",
     "artifact_filename",
     "cheapest_scenarios",
     "compare_files",
@@ -56,8 +60,10 @@ __all__ = [
     "environment_fingerprint",
     "flatten_doc",
     "get_scenario",
+    "is_wall_clock_key",
     "render_comparison",
     "run_chaos_soak",
+    "run_engine_scaling",
     "run_scenario",
     "run_scenarios",
     "scenario_names",

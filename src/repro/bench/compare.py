@@ -36,8 +36,10 @@ __all__ = [
     "MetricDelta",
     "ComparisonResult",
     "DEFAULT_THRESHOLDS",
+    "WALL_CLOCK_HEADLINE_MARKERS",
     "flatten_doc",
     "diff_docs",
+    "is_wall_clock_key",
     "render_comparison",
     "compare_files",
 ]
@@ -105,6 +107,14 @@ DEFAULT_THRESHOLDS: "tuple[Threshold, ...]" = (
     Threshold("headline:latency_breakdown:txs", "higher", 5.0, abs_slack=1.0),
     Threshold("headline:latency_breakdown:*_s", "lower", 15.0, abs_slack=0.1),
     Threshold("headline:*_phase_*_s", "lower", 15.0, abs_slack=0.1),
+    # -- engine_scaling: event counts are deterministic (tight), the
+    # wall-time scaling exponent is host-measured (generous — hosts vary
+    # in speed, not asymptotics); absolute wall keys never reach these
+    # thresholds (wall-clock markers short-circuit to informational)
+    Threshold("headline:event_scaling_exponent", "lower", 2.0, abs_slack=0.05),
+    Threshold("headline:wall_scaling_exponent", "lower", 35.0, abs_slack=0.5),
+    Threshold("headline:events_n*", "lower", 10.0, abs_slack=50.0),
+    Threshold("headline:committed_n*", "higher", 5.0, abs_slack=1.0),
     # -- lower is better: latency (simulated time only; quantiles only —
     # a histogram's :count/:sum grow with *more commits*, which is good)
     Threshold("*latency_s", "lower", 10.0, abs_slack=0.05),
@@ -121,11 +131,30 @@ DEFAULT_THRESHOLDS: "tuple[Threshold, ...]" = (
     Threshold("*duplicates*", "lower", 10.0, abs_slack=20.0),
 )
 
-#: wall-clock timing histograms — never gated, whatever the patterns say
+#: wall-clock quantities — never gated, whatever the patterns say
+#: (timing histograms plus the engine_scaling scenario's absolute keys;
+#: note "wall_s_n" deliberately does NOT match "wall_scaling_exponent",
+#: which stays gated under its own generous threshold)
 _WALL_CLOCK_MARKERS = (
     "srbb_eager_validate_seconds",
     "srbb_commit_superblock_seconds",
+    "us_per_event",
+    "events_per_sec",
+    "wall_s_n",
+    "peak_rss_mb",
 )
+
+#: every headline key whose *value* depends on the host's wall clock —
+#: the ungated markers above plus the (gated, but still host-measured)
+#: scaling-exponent fit.  Determinism assertions filter with this.
+WALL_CLOCK_HEADLINE_MARKERS = _WALL_CLOCK_MARKERS + ("wall_scaling_exponent",)
+
+
+def is_wall_clock_key(key: str) -> bool:
+    """True when a flattened key (``headline:<name>`` or metric key) is
+    wall-clock-derived and therefore varies across identical seeded runs;
+    same-run determinism checks must skip these."""
+    return any(marker in key for marker in WALL_CLOCK_HEADLINE_MARKERS)
 
 
 def _fmt_label_suffix(labels: dict) -> str:

@@ -8,7 +8,13 @@ makes ``repro metrics-diff`` against a checked-in baseline meaningful.
 
 Headline stats are flat ``name -> float`` and must only contain
 simulated-time quantities (never wall-clock), so artifacts from
-different hosts stay comparable.
+different hosts stay comparable.  The one sanctioned exception is the
+``engine_scaling`` scenario, whose *point* is wall-clock cost: its
+wall-derived keys (``wall_s_n*``, ``events_per_sec*``,
+``us_per_event:*``, ``peak_rss_mb``) are matched by
+``compare._WALL_CLOCK_MARKERS`` so the diff reports them without ever
+gating on them; only its event counts and the generously-bounded
+``wall_scaling_exponent`` fit are enforced.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ __all__ = [
     "scenario_names",
     "cheapest_scenarios",
     "run_chaos_soak",
+    "run_engine_scaling",
     "run_saturation_probe",
 ]
 
@@ -489,6 +496,112 @@ def _run_chaos_soak(reg: MetricsRegistry) -> dict:
     return run_chaos_soak()
 
 
+def run_engine_scaling(
+    *,
+    sizes: "tuple[int, ...]" = (4, 8, 16, 32),
+    seed: int = 9,
+    clients: int = 8,
+    nonces: int = 4,
+    send_window_s: float = 2.0,
+    horizon_s: float = 6.0,
+) -> dict:
+    """Message-level engine cost vs committee size, under the profiler.
+
+    Runs the same small transfer workload against single-region
+    deployments of ``n ∈ sizes`` validators with a wall-clock
+    :class:`~repro.telemetry.profiling.Profiler` attached to each event
+    loop, and fits power laws to both the deterministic event counts
+    (``event_scaling_exponent`` — gated tight) and the measured wall
+    time (``wall_scaling_exponent`` — gated generously; hosts differ in
+    speed but not in asymptotics).  Per-subsystem ``us_per_event:*``
+    keys, ``events_per_sec`` and ``peak_rss_mb`` are informational
+    (wall-clock markers, never gated).
+
+    CI's smoke job calls this directly with ``sizes=(4, 8)``.
+    """
+    import time as _time
+
+    from repro import params
+    from repro.core.deployment import Deployment, fund_clients
+    from repro.core.transaction import make_transfer
+    from repro.net.topology import single_region_topology
+    from repro.telemetry import profiling
+
+    headline: dict = {}
+    event_counts: "list[float]" = []
+    wall_times: "list[float]" = []
+    subsystems: "dict[str, list[float]]" = {}
+    for n in sizes:
+        prof = profiling.Profiler()
+        keypairs, balances = fund_clients(clients, seed=5000 + seed)
+        deployment = Deployment(
+            protocol=params.ProtocolParams(n=n, tvpr=True, rpm=False),
+            topology=single_region_topology(n),
+            extra_balances=balances,
+            seed=seed,
+        )
+        # Attach directly (no global use_profiler): each size gets its
+        # own profiler, and nothing has been scheduled yet.
+        deployment.sim.profiler = prof
+        deployment.start()
+        total = clients * nonces
+        gap = send_window_s / total
+        for nonce in range(nonces):
+            for i, keypair in enumerate(keypairs):
+                k = nonce * clients + i
+                tx = make_transfer(
+                    keypair, keypairs[(i + 1) % clients].address, 1,
+                    nonce=nonce, created_at=k * gap,
+                )
+                deployment.submit(tx, validator_id=i % n, at=k * gap)
+        t0 = _time.perf_counter()
+        deployment.run_until(horizon_s)
+        wall = max(_time.perf_counter() - t0, 1e-9)
+        prof.phase(f"n={n}")
+        prof.finish()
+
+        events = float(deployment.sim.events_processed)
+        event_counts.append(events)
+        wall_times.append(wall)
+        for name, (count, total_ns) in prof.by_subsystem.items():
+            entry = subsystems.setdefault(name, [0.0, 0.0])
+            entry[0] += count
+            entry[1] += total_ns
+        headline[f"events_n{n}"] = events
+        headline[f"committed_n{n}"] = float(deployment.total_committed())
+        headline[f"height_n{n}"] = float(
+            max(v.blockchain.height for v in deployment.correct_validators)
+        )
+        headline[f"wall_s_n{n}"] = round(wall, 4)
+        headline[f"events_per_sec_n{n}"] = round(events / wall, 2)
+
+    log_sizes = np.log(np.asarray(sizes, dtype=float))
+    headline["event_scaling_exponent"] = round(
+        float(np.polyfit(log_sizes, np.log(np.asarray(event_counts)), 1)[0]), 4
+    )
+    headline["wall_scaling_exponent"] = round(
+        float(np.polyfit(log_sizes, np.log(np.asarray(wall_times)), 1)[0]), 4
+    )
+    headline["events_per_sec"] = round(
+        sum(event_counts) / sum(wall_times), 2
+    )
+    headline["peak_rss_mb"] = round(profiling._peak_rss_mb(), 2)
+    for name, (count, total_ns) in sorted(subsystems.items()):
+        if count:
+            headline[f"us_per_event:{name}"] = round(
+                total_ns / 1_000.0 / count, 3
+            )
+    return headline
+
+
+def _run_engine_scaling(reg: MetricsRegistry) -> dict:
+    """Wall-clock scaling gate (the profiler-PR tentpole evidence): event
+    counts must scale with committee size exactly as before (tight gate),
+    and measured wall time must not blow past the established scaling
+    exponent (generous gate; absolute speeds stay informational)."""
+    return run_engine_scaling()
+
+
 register_scenario(Scenario(
     name="tvpr_ablation",
     description="SRBB vs EVM+DBFT on the full FIFA workload (tick engine): "
@@ -538,6 +651,18 @@ register_scenario(Scenario(
     seed=7,
     cost_rank=3,
     tags=("engine", "faults", "regions"),
+))
+
+register_scenario(Scenario(
+    name="engine_scaling",
+    description="Message-level engine wall-clock cost vs committee size "
+    "(n = 4..32) under the event-loop profiler: deterministic event "
+    "counts gated tight, wall-time scaling exponent gated generously, "
+    "per-subsystem µs/event informational",
+    run=_run_engine_scaling,
+    seed=9,
+    cost_rank=5,
+    tags=("engine", "profiling", "scaling"),
 ))
 
 register_scenario(Scenario(

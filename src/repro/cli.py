@@ -15,7 +15,26 @@ Usage (after ``pip install -e .``):
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+
+
+def _open_output(path: str):
+    """Open an output path for writing, creating parent directories.
+
+    Failures surface as :class:`repro.errors.OutputWriteError` so
+    :func:`main` can report a one-line error (exit 1) instead of a
+    traceback.
+    """
+    from repro.errors import OutputWriteError
+
+    try:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        return open(path, "w")
+    except OSError as exc:
+        raise OutputWriteError(f"cannot write {path}: {exc}") from exc
 
 
 def _cmd_figure2(args) -> int:
@@ -170,7 +189,7 @@ def _cmd_report(args) -> int:
             table1_scale=args.table1_scale,
         )
     if args.output:
-        with open(args.output, "w") as fh:
+        with _open_output(args.output) as fh:
             fh.write(text)
         print(f"wrote {args.output}")
     else:
@@ -220,6 +239,48 @@ def _cmd_metrics_diff(args) -> int:
     )
     print(text)
     return rc
+
+
+def _profile_scenario(args) -> int:
+    from repro.bench import run_scenario
+
+    artifact = run_scenario(args.scenario)
+    for key, value in sorted(artifact.headline.items()):
+        print(f"{key:32s} {value}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    import json
+
+    from repro.telemetry import profiling
+
+    slug = args.profile_slug(args)
+    prof = profiling.Profiler(track_memory=args.memory)
+    try:
+        with profiling.use_profiler(prof):
+            prof.phase("start")
+            rc = args.profile_fn(args)
+            prof.phase("end")
+        prof.finish()
+        base = os.path.join(args.out_dir, f"PROFILE_{slug}")
+        with _open_output(base + ".json") as fh:
+            json.dump(
+                profiling.profile_doc(prof, target=slug),
+                fh, indent=2, sort_keys=True,
+            )
+            fh.write("\n")
+        with _open_output(base + ".collapsed") as fh:
+            fh.write(profiling.to_collapsed(prof))
+        with _open_output(base + ".speedscope.json") as fh:
+            json.dump(profiling.to_speedscope(prof, name=slug), fh)
+            fh.write("\n")
+        print(profiling.render_table(prof, top=args.top))
+        for suffix in (".json", ".collapsed", ".speedscope.json"):
+            print(f"profile written to {base}{suffix}", file=sys.stderr)
+        return rc
+    finally:
+        prof.close()
 
 
 def _telemetry_parent() -> argparse.ArgumentParser:
@@ -364,6 +425,74 @@ def build_parser() -> argparse.ArgumentParser:
     b.set_defaults(fn=_cmd_metrics_diff)
 
     p = add_parser(
+        "profile",
+        help="wall-clock profile a run (PROFILE_*.json + flamegraph)",
+        description="Wrap a run in the deterministic wall-clock profiler: "
+        "per-event-kind cost accounting, per-subsystem/per-node "
+        "attribution, collapsed-stack and speedscope flamegraphs, and "
+        "optional tracemalloc memory watermarks.",
+    )
+    prof_sub = p.add_subparsers(dest="profile_command", required=True)
+    prof_common = argparse.ArgumentParser(add_help=False)
+    prof_group = prof_common.add_argument_group("profiling")
+    prof_group.add_argument(
+        "--out-dir", default=".",
+        help="directory for PROFILE_<target>.{json,collapsed,"
+        "speedscope.json} (default: .)",
+    )
+    prof_group.add_argument(
+        "--memory", action="store_true",
+        help="also record tracemalloc memory watermarks at phase "
+        "boundaries (adds overhead; off by default)",
+    )
+    prof_group.add_argument(
+        "--top", type=int, default=15,
+        help="event kinds to show in the terminal table (default 15)",
+    )
+
+    q = prof_sub.add_parser(
+        "simulate", parents=[common, prof_common],
+        help="profile one chain × one workload (tick-level engine)",
+    )
+    q.add_argument("chain", choices=[
+        "srbb", "evm+dbft", "algorand", "avalanche", "diem",
+        "ethereum", "quorum", "solana",
+    ])
+    q.add_argument("workload", choices=["nasdaq", "uber", "fifa"])
+    q.add_argument("--scale", type=float, default=1.0)
+    q.set_defaults(
+        fn=_cmd_profile, profile_fn=_cmd_simulate,
+        profile_slug=lambda a: (
+            f"simulate_{a.chain.replace('+', '-')}_{a.workload}"
+        ),
+    )
+
+    q = prof_sub.add_parser(
+        "dapp", parents=[common, prof_common],
+        help="profile a DApp workload (message-level engine)",
+    )
+    q.add_argument("workload", choices=["nasdaq", "uber", "fifa"])
+    q.add_argument("--scale", type=float, default=0.01)
+    q.add_argument("--n", type=int, default=4)
+    q.add_argument("--no-tvpr", action="store_true")
+    q.add_argument("--rpm", action="store_true")
+    q.set_defaults(
+        fn=_cmd_profile, profile_fn=_cmd_dapp,
+        profile_slug=lambda a: f"dapp_{a.workload}",
+        observatory_out=None, observatory_interval=1.0,
+    )
+
+    q = prof_sub.add_parser(
+        "scenario", parents=[common, prof_common],
+        help="profile one bench scenario (see 'repro bench list')",
+    )
+    q.add_argument("scenario", help="scenario name")
+    q.set_defaults(
+        fn=_cmd_profile, profile_fn=_profile_scenario,
+        profile_slug=lambda a: f"scenario_{a.scenario}",
+    )
+
+    p = add_parser(
         "metrics-diff",
         help="diff two metric dumps with regression thresholds",
         description="Compare two BENCH_*.json artifacts, --metrics-out JSON "
@@ -451,8 +580,14 @@ def main(argv: "list[str] | None" = None) -> int:
             json.dump(doc, fh)
             fh.write("\n")
 
+    from repro.errors import OutputWriteError
+
     try:
-        rc = args.fn(args)
+        try:
+            rc = args.fn(args)
+        except OutputWriteError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            rc = 1
     finally:
         # A bad output path must not swallow the run's results with a
         # traceback — report it and fail the exit code instead.
@@ -465,6 +600,9 @@ def main(argv: "list[str] | None" = None) -> int:
             if not path:
                 continue
             try:
+                parent = os.path.dirname(path)
+                if parent:
+                    os.makedirs(parent, exist_ok=True)
                 write(path)
             except OSError as exc:
                 print(f"repro: cannot write {path}: {exc}", file=sys.stderr)
@@ -472,6 +610,15 @@ def main(argv: "list[str] | None" = None) -> int:
             else:
                 print(f"telemetry written to {path}", file=sys.stderr)
         if capture:
+            dropped = telemetry.get_tracer().dropped_records
+            if dropped:
+                import logging
+
+                logging.getLogger("repro.telemetry").warning(
+                    "trace ring buffer dropped %d records (oldest shed); "
+                    "stream with --trace-out or raise Tracer(max_records=…)",
+                    dropped,
+                )
             # Scope the enablement to this invocation: library-style
             # callers of main() must not keep paying for telemetry.
             telemetry.disable()

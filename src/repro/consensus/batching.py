@@ -89,7 +89,21 @@ class VoteBatcher:
         finishes — but coalesces only messages emitted within one event.
     enabled:
         ``False`` bypasses buffering entirely (the ablation path).
+    adaptive:
+        When True the *effective* flush tick shrinks under light load:
+        waiting the full tick when only a vote or two coalesces per flush
+        buys no wire reduction and costs pure latency, so the tick scales
+        with an EWMA of observed votes-per-flush, floored at
+        ``tick / MIN_TICK_DIVISOR``.  Off by default — the adapted tick
+        changes flush timing, so enabling it perturbs seeded runs.
     """
+
+    #: votes-per-flush at (or above) which the full tick is warranted
+    LIGHT_LOAD_VOTES = 16.0
+    #: the adaptive tick never shrinks below ``tick / MIN_TICK_DIVISOR``
+    MIN_TICK_DIVISOR = 8.0
+    #: EWMA smoothing for the votes-per-flush load estimate
+    EWMA_ALPHA = 0.25
 
     def __init__(
         self,
@@ -99,6 +113,7 @@ class VoteBatcher:
         sim=None,
         tick: float = 0.0,
         enabled: bool = True,
+        adaptive: bool = False,
     ):
         if tick < 0:
             raise ValueError(f"negative batch tick {tick}")
@@ -107,6 +122,9 @@ class VoteBatcher:
         self.sim = sim
         self.tick = tick
         self.enabled = enabled
+        self.adaptive = adaptive
+        self._effective_tick = tick
+        self._load_ewma: "float | None" = None
         self._buffer: "list[ConsensusMessage]" = []
         self._flush_scheduled = False
         #: lifetime counters (cheap, always on — the bench comparisons read
@@ -131,7 +149,8 @@ class VoteBatcher:
         self._flush_scheduled = True
         if self.sim is None:
             return  # manual flushing (unit tests)
-        if self.tick <= 0.0:
+        tick = self.effective_tick
+        if tick <= 0.0:
             # End-of-instant flush: runs after the current event cascade.
             self.sim.schedule(0.0, self.flush)
         else:
@@ -139,8 +158,14 @@ class VoteBatcher:
             # Next tick boundary strictly after the enqueue instant (an
             # enqueue landing exactly on a boundary flushes immediately —
             # same instant, after the cascade — via the max(0, ...) clamp).
-            boundary = (int(now / self.tick) + 1) * self.tick
+            boundary = (int(now / tick) + 1) * tick
             self.sim.schedule(max(0.0, boundary - now), self.flush)
+
+    @property
+    def effective_tick(self) -> float:
+        """The flush quantum currently in force: ``tick`` when static,
+        the load-scaled value when ``adaptive``."""
+        return self._effective_tick if self.adaptive else self.tick
 
     # -- flush path --------------------------------------------------------------
 
@@ -151,6 +176,18 @@ class VoteBatcher:
             return
         buffered = tuple(self._buffer)
         self._buffer.clear()
+        if self.adaptive and self.tick > 0.0:
+            # Light-load adaptation: estimate votes-per-flush, shrink the
+            # next flush window proportionally (full tick once the EWMA
+            # reaches LIGHT_LOAD_VOTES, never below tick/MIN_TICK_DIVISOR).
+            observed = float(len(buffered))
+            if self._load_ewma is None:
+                self._load_ewma = observed
+            else:
+                a = self.EWMA_ALPHA
+                self._load_ewma = (1.0 - a) * self._load_ewma + a * observed
+            target = self.tick * min(1.0, self._load_ewma / self.LIGHT_LOAD_VOTES)
+            self._effective_tick = max(self.tick / self.MIN_TICK_DIVISOR, target)
         batch = ConsensusBatch(messages=buffered, sender=self.node_id)
         saved = batch.bytes_saved()
         self.batches_sent += 1

@@ -125,3 +125,14 @@ class NetworkError(ReproError):
 
 class MembershipError(ReproError):
     """Invalid committee/membership operation (e.g. deposit too small)."""
+
+
+# ---------------------------------------------------------------------------
+# Tooling errors
+# ---------------------------------------------------------------------------
+
+
+class OutputWriteError(ReproError):
+    """An artifact output path could not be written (bad directory,
+    permissions, full disk).  The CLI reports it as a one-line message and
+    a non-zero exit code instead of a traceback."""

@@ -23,6 +23,9 @@ class Event:
     callback: Callable[..., None] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    #: optional (name, subsystem, node) attribution stamped by schedulers
+    #: (Node._schedule) so the profiler skips per-event classification
+    profile_info: tuple | None = field(compare=False, default=None)
 
     def cancel(self) -> None:
         self.cancelled = True
@@ -36,6 +39,9 @@ class Simulator:
         self._seq = itertools.count()
         self.now = 0.0
         self.events_processed = 0
+        #: optional wall-clock profiler (repro.telemetry.profiling); None
+        #: keeps the hot path at a single attribute check per event
+        self.profiler = None
 
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
@@ -63,7 +69,13 @@ class Simulator:
                 continue
             self.now = event.time
             self.events_processed += 1
-            event.callback(*event.args)
+            profiler = self.profiler
+            if profiler is None:
+                event.callback(*event.args)
+            else:
+                profiler.record_event(
+                    event.callback, event.args, event.profile_info
+                )
             return True
         return False
 

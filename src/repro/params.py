@@ -90,6 +90,12 @@ class ProtocolParams:
     #: a single-region deployment coalesces enough of each round's votes
     #: for a >=10x wire-message reduction without altering decisions.
     vote_batch_tick: float = 0.1
+    #: Adaptive vote-batch tick: when True each batcher shrinks its
+    #: effective flush quantum under light load (EWMA of votes-per-flush),
+    #: trading a little coalescing for latency when there is nothing to
+    #: coalesce.  Off by default — flush timing shifts perturb seeded
+    #: runs, so baselines stay byte-identical.
+    vote_batch_adaptive: bool = False
     #: Liveness watchdog: flag a node as wedged after this many round
     #: intervals without a commit (0 disables the watchdog entirely, the
     #: default, so fault-free baselines schedule no extra events).  A

@@ -11,6 +11,9 @@ Three layers, all off by default and one-branch-cheap until enabled:
   (``--trace-out``).
 * **Exporters / timing** — Prometheus text + JSON snapshots, and the
   :func:`timed` / :func:`stopwatch` wall-clock helpers for hot paths.
+* **Profiling** — :class:`Profiler` attributes real elapsed time per
+  event kind / subsystem / node across the event loops and exports
+  flamegraphs (``repro profile``, ``repro.telemetry.profiling``).
 
 The metric catalogue (names, labels, units) lives in
 ``docs/OBSERVABILITY.md``.
@@ -33,6 +36,13 @@ from repro.telemetry.lifecycle import (
 )
 from repro.telemetry.logconfig import configure_logging, verbosity_to_level
 from repro.telemetry.observatory import CongestionObservatory
+from repro.telemetry.profiling import (
+    Profiler,
+    profile_doc,
+    set_profiler,
+    use_profiler,
+    validate_profile,
+)
 from repro.telemetry.registry import (
     COUNT_BUCKETS,
     DEFAULT_BUCKETS,
@@ -72,6 +82,7 @@ __all__ = [
     "Histogram",
     "LifecycleRecorder",
     "MetricsRegistry",
+    "Profiler",
     "QuantileSketch",
     "Tracer",
     "analyze_critical_path",
@@ -85,6 +96,8 @@ __all__ = [
     "get_registry",
     "get_tracer",
     "parse_prometheus",
+    "profile_doc",
+    "set_profiler",
     "set_recorder",
     "set_registry",
     "set_tracer",
@@ -94,8 +107,10 @@ __all__ = [
     "to_json",
     "to_prometheus",
     "to_trace_events",
+    "use_profiler",
     "use_recorder",
     "use_registry",
+    "validate_profile",
     "validate_trace_event",
     "verbosity_to_level",
     "write_metrics",

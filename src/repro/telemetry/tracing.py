@@ -159,7 +159,25 @@ class Tracer:
         """The whole buffered trace as JSONL (one record per line,
         ts-ordered).  When streaming, this covers the un-flushed tail."""
         ordered = sorted(self._records, key=lambda r: r["ts"])
-        return "".join(json.dumps(r, default=str) + "\n" for r in ordered)
+        lines = [json.dumps(r, default=str) + "\n" for r in ordered]
+        if self.dropped_records:
+            # Stamp truncation into the artifact itself — a trace missing
+            # its earliest records must say so, or analysis over it will
+            # silently under-count.  Consumers that iterate spans skip
+            # non-span records, so this trailer is backward compatible.
+            lines.append(
+                json.dumps(
+                    {
+                        "type": "meta",
+                        "name": "tracer.dropped",
+                        "ts": ordered[-1]["ts"] if ordered else 0.0,
+                        "dropped_records": self.dropped_records,
+                        "kept_records": len(ordered),
+                    }
+                )
+                + "\n"
+            )
+        return "".join(lines)
 
     def dump(self, path: str) -> None:
         if self._stream is not None and path == self._stream_path:

@@ -240,3 +240,41 @@ class TestGlobalTracer:
         finally:
             set_tracer(previous)
         assert {r["name"] for r in fresh.records} == {"e", "s"}
+
+
+class TestDroppedRecordsSurfacing:
+    def test_dumps_appends_meta_trailer_when_truncated(self):
+        tracer = Tracer(max_records=3)
+        for i in range(5):
+            tracer.event(f"e{i}")
+        lines = [json.loads(l) for l in tracer.dumps().splitlines()]
+        meta = lines[-1]
+        assert meta["type"] == "meta"
+        assert meta["name"] == "tracer.dropped"
+        assert meta["dropped_records"] == 2
+        assert meta["kept_records"] == 3
+        # only the trailer; the kept records are unchanged
+        assert [r["name"] for r in lines[:-1]] == ["e2", "e3", "e4"]
+
+    def test_dumps_has_no_trailer_without_drops(self):
+        tracer = Tracer()
+        tracer.event("only")
+        lines = [json.loads(l) for l in tracer.dumps().splitlines()]
+        assert [r.get("name") for r in lines] == ["only"]
+
+    def test_congestion_report_prints_truncation_line(self):
+        from repro.analysis.congestion_report import build_congestion_report
+
+        records = [
+            {"type": "span", "name": "node.commit", "ts": 0.1, "dur": 0.05},
+            {"type": "meta", "name": "tracer.dropped", "ts": 0.2,
+             "dropped_records": 42, "kept_records": 1},
+        ]
+        text = build_congestion_report(trace_records=records)
+        assert "dropped 42" in text
+        assert "trace truncated" in text
+        html = build_congestion_report(trace_records=records, html=True)
+        assert "dropped 42" in html
+        # no truncation -> no warning line
+        clean = build_congestion_report(trace_records=records[:1])
+        assert "truncated" not in clean

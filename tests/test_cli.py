@@ -89,3 +89,78 @@ class TestExecution:
         text = target.read_text()
         assert "# SRBB reproduction" in text
         assert "## Table I" not in text
+
+
+class TestProfileCommand:
+    def test_parseable(self):
+        parser = build_parser()
+        parser.parse_args(["profile", "simulate", "srbb", "fifa",
+                           "--scale", "0.01", "--out-dir", "/tmp"])
+        parser.parse_args(["profile", "dapp", "nasdaq", "--scale", "0.002",
+                           "--memory", "--top", "5"])
+        parser.parse_args(["profile", "scenario", "tvpr_ablation"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile"])  # target required
+
+    def test_profile_simulate_writes_artifacts(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry.profiling import (
+            validate_profile, validate_speedscope,
+        )
+
+        rc = main(["profile", "simulate", "srbb", "nasdaq",
+                   "--scale", "0.001", "--out-dir", str(tmp_path)])
+        assert rc == 0
+        base = tmp_path / "PROFILE_simulate_srbb_nasdaq"
+        doc = json.loads((tmp_path / "PROFILE_simulate_srbb_nasdaq.json")
+                         .read_text())
+        assert validate_profile(doc) == []
+        assert doc["events"] >= 0
+        assert "tick.arrivals" in doc["by_kind"]
+        speed = json.loads(
+            base.with_suffix(".speedscope.json").read_text()
+        )
+        assert validate_speedscope(speed) == []
+        collapsed = (tmp_path / "PROFILE_simulate_srbb_nasdaq.collapsed")
+        assert collapsed.exists()
+        out = capsys.readouterr().out
+        assert "µs/event" in out
+        assert "tick." in out
+
+    def test_profile_out_dir_is_created(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        rc = main(["profile", "simulate", "srbb", "nasdaq",
+                   "--scale", "0.001", "--out-dir", str(nested)])
+        assert rc == 0
+        assert (nested / "PROFILE_simulate_srbb_nasdaq.json").exists()
+
+    def test_unwritable_out_dir_fails_cleanly(self, tmp_path, capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        rc = main(["profile", "simulate", "srbb", "nasdaq",
+                   "--scale", "0.001",
+                   "--out-dir", str(blocker / "sub")])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "repro: cannot write" in err
+
+
+class TestOutputPaths:
+    def test_report_creates_parent_dirs(self, tmp_path):
+        target = tmp_path / "deep" / "dir" / "report.md"
+        assert main(["report", "--skip-table1", "-o", str(target)]) == 0
+        assert "# SRBB reproduction" in target.read_text()
+
+    def test_report_unwritable_path_exits_1(self, tmp_path, capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("x")
+        rc = main(["report", "--skip-table1",
+                   "-o", str(blocker / "report.md")])
+        assert rc == 1
+        assert "repro: cannot write" in capsys.readouterr().err
+
+    def test_telemetry_out_creates_parent_dirs(self, tmp_path):
+        target = tmp_path / "made" / "metrics.json"
+        assert main(["traces", "--metrics-out", str(target)]) == 0
+        assert target.exists()
