@@ -39,11 +39,20 @@ def analyze(name, factory, batch=120):
     report = analyze_block(txs)
     executor = build_executor(factory)
     result = execute_parallel(executor, txs, workers=8, exec_rate=20_000.0)
+    # the real multi-core backend must land on the identical state
+    threaded = build_executor(factory)
+    threaded_result = execute_parallel(
+        threaded, txs, workers=8, exec_rate=20_000.0, backend="threads"
+    )
+    assert threaded.state.state_root() == executor.state.state_root()
+    assert [r.success for r in threaded_result.receipts] == [
+        r.success for r in result.receipts
+    ]
     ok = sum(r.success for r in result.receipts)
     print(f"{name:8s} {batch} txs → {report.parallel_depth:3d} groups, "
           f"{report.conflict_count:5d} conflict pairs, "
           f"×{result.speedup:.2f} speedup (8 workers), "
-          f"{ok}/{batch} executed OK")
+          f"{ok}/{batch} executed OK, threaded root matches")
     return result
 
 

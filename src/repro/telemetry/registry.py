@@ -85,6 +85,9 @@ class _Metric:
         self._registry = registry
         self._labels: dict = {}
         self._children: "dict[tuple, _Metric]" = {}
+        # Guards child creation and counter increments: the parallel VM
+        # executor drives these from worker threads.
+        self._mutex = threading.Lock()
 
     # -- labels ----------------------------------------------------------------
 
@@ -98,9 +101,12 @@ class _Metric:
         key = _label_key({k: str(v) for k, v in labels.items()})
         child = self._children.get(key)
         if child is None:
-            child = self._new_child()
-            child._labels = dict(key)
-            self._children[key] = child
+            with self._mutex:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._new_child()
+                    child._labels = dict(key)
+                    self._children[key] = child
         return child
 
     def _new_child(self) -> "_Metric":
@@ -135,7 +141,11 @@ class Counter(_Metric):
         if amount < 0:
             raise ValueError("counters can only increase")
         if self._on:
-            self.value += amount
+            # ``+=`` on a float attribute is not atomic (read/modify/write
+            # interleaves across threads); parallel execution increments
+            # executor counters concurrently.
+            with self._mutex:
+                self.value += amount
 
     def total(self) -> float:
         """Own value plus every labeled child's."""

@@ -23,6 +23,7 @@ from typing import Iterable, Sequence
 import networkx as nx
 
 from repro.core.transaction import Transaction, TxType
+from repro.vm.executor import contract_address_for
 
 
 @dataclass(frozen=True)
@@ -32,14 +33,20 @@ class AccessSet:
     ``commutes`` holds pure-increment targets (balance credits): two
     commutative updates to the same key reorder freely (Block-STM-style
     delta writes), but a commutative update still conflicts with a read
-    or an ordinary write of that key.
+    or an ordinary write of that key.  ``opaque`` marks transactions whose
+    effects cannot be bounded statically (e.g. a native call that moves
+    balances to storage-derived addresses); an opaque transaction
+    conflicts with everything.
     """
 
     reads: frozenset[str]
     writes: frozenset[str]
     commutes: frozenset[str] = frozenset()
+    opaque: bool = False
 
     def conflicts_with(self, other: "AccessSet") -> bool:
+        if self.opaque or other.opaque:
+            return True
         if (
             self.writes & other.writes
             or self.writes & other.reads
@@ -57,37 +64,59 @@ def _balance_key(address: str) -> str:
     return f"acct:{address}"
 
 
-def access_set(tx: Transaction) -> AccessSet:
+def access_set(tx: Transaction, *, coinbase: str = "") -> AccessSet:
     """Static read/write sets for one transaction.
 
     Native-contract calls are attributed to the contract's storage at
     function granularity (argument-keyed where the ABI makes it obvious:
     per-symbol for the exchange, per-match for ticketing), which keeps
     the analysis sound-but-useful without executing the transaction.
+    Argument-scoped accesses also *read* the whole-contract container key
+    so a coarse (whole-contract) access orders against every fine one.
+
+    When a ``coinbase`` is given, every transaction commutatively credits
+    it (the gas fee), so a transaction touching the coinbase account
+    directly serializes against all others.
     """
     reads = {_balance_key(tx.sender)}
     writes = {_balance_key(tx.sender)}
     commutes: set[str] = set()
+    opaque = False
+    if coinbase:
+        commutes.add(_balance_key(coinbase))
     if tx.tx_type is TxType.TRANSFER:
         # the receiver is only credited: a commutative delta
         commutes.add(_balance_key(tx.receiver))
     elif tx.tx_type is TxType.DEPLOY:
-        writes.add(f"code:{tx.sender}:{tx.nonce}")
+        # The executor creates (and possibly funds) the account at the
+        # deterministic create address — not some "code:{sender}" datum.
+        created = contract_address_for(tx.sender, tx.nonce)
+        writes.add(_balance_key(created))
+        writes.add(f"store:{created}")
     elif tx.tx_type is TxType.INVOKE:
         contract = str(tx.payload.get("contract", tx.receiver))
         function = str(tx.payload.get("function", ""))
         args = tuple(tx.payload.get("args", ()))
         scope = _invoke_scope(contract, function, args)
+        container = f"store:{contract}"
+        if function not in _SAFE_FUNCTIONS:
+            # Unknown ABI (SVM bytecode, arbitrary function): no static
+            # bound on the touched data — serialize against everything.
+            opaque = True
         if _is_readonly(function):
             reads.add(scope)
+            reads.add(container)
         else:
             writes.add(scope)
+            if scope != container:
+                reads.add(container)
             if tx.amount:
                 commutes.add(_balance_key(contract))  # value credit
     return AccessSet(
         reads=frozenset(reads),
         writes=frozenset(writes),
         commutes=frozenset(commutes),
+        opaque=opaque,
     )
 
 
@@ -95,6 +124,15 @@ _READONLY_FUNCTIONS = {
     "last_price", "volume", "position", "ride_state", "zone_demand",
     "sold", "tickets_of", "balance_of", "allowance", "total_supply",
     "deposit_of", "validators", "excluded", "events",
+}
+
+#: Functions whose effects the static scopes above fully capture: storage
+#: writes inside the scoped keys plus declared balance commutes.  Anything
+#: else (``complete_ride`` moves native balance to a storage-derived
+#: driver address; SVM bytecode is arbitrary) is opaque.
+_SAFE_FUNCTIONS = _READONLY_FUNCTIONS | {
+    "trade", "open_match", "buy_ticket", "request_ride", "accept_ride",
+    "init", "mint", "transfer", "approve", "transfer_from",
 }
 
 
@@ -141,16 +179,19 @@ class ConflictReport:
         return self.tx_count / self.parallel_depth if self.groups else 1.0
 
 
-def conflict_graph(txs: Sequence[Transaction]) -> nx.Graph:
+def conflict_graph(txs: Sequence[Transaction], *, coinbase: str = "") -> nx.Graph:
     """Graph with one node per tx index, edges between conflicting pairs."""
     graph = nx.Graph()
-    sets = [access_set(tx) for tx in txs]
+    sets = [access_set(tx, coinbase=coinbase) for tx in txs]
     graph.add_nodes_from(range(len(txs)))
     # index datum -> txs touching it, to avoid O(n²) pair checks
     writers: dict[str, list[int]] = {}
     readers: dict[str, list[int]] = {}
     commuters: dict[str, list[int]] = {}
+    opaques: list[int] = []
     for i, acc in enumerate(sets):
+        if acc.opaque:
+            opaques.append(i)
         for key in acc.writes:
             writers.setdefault(key, []).append(i)
         for key in acc.reads:
@@ -171,17 +212,23 @@ def conflict_graph(txs: Sequence[Transaction]) -> nx.Graph:
             for other in rs:
                 if other != commuter:
                     graph.add_edge(commuter, other)
+    # opaque transactions conflict with every other transaction
+    for i in opaques:
+        for j in range(len(txs)):
+            if j != i:
+                graph.add_edge(i, j)
     return graph
 
 
-def analyze_block(txs: Sequence[Transaction]) -> ConflictReport:
+def analyze_block(txs: Sequence[Transaction], *, coinbase: str = "") -> ConflictReport:
     """Conflict pairs + greedy conflict-free grouping (order-preserving).
 
     Grouping is a serializable schedule: a transaction joins the earliest
     group after every group containing a conflicting predecessor, so
-    executing groups in order respects all conflict dependencies.
+    executing groups in order respects all conflict dependencies — every
+    conflicting pair ``i < j`` lands with ``group(i) < group(j)``.
     """
-    graph = conflict_graph(txs)
+    graph = conflict_graph(txs, coinbase=coinbase)
     pairs = sorted(tuple(sorted(edge)) for edge in graph.edges)
     group_of: dict[int, int] = {}
     groups: list[list[int]] = []
@@ -199,10 +246,33 @@ def analyze_block(txs: Sequence[Transaction]) -> ConflictReport:
     )
 
 
-def blocks_are_conflict_serialized(txs: Sequence[Transaction]) -> bool:
-    """Definition 1 validity check: with a serial executor the committed
-    order *is* a serialization, so this verifies the schedule derived by
-    :func:`analyze_block` covers every transaction exactly once."""
-    report = analyze_block(txs)
-    flat = sorted(i for group in report.groups for i in group)
-    return flat == list(range(len(txs)))
+def blocks_are_conflict_serialized(
+    txs: Sequence[Transaction],
+    groups: Sequence[Sequence[int]] | None = None,
+    *,
+    coinbase: str = "",
+) -> bool:
+    """Definition 1 validity check for a parallel schedule.
+
+    A schedule (``groups``, defaulting to the one :func:`analyze_block`
+    derives) serializes the block iff (a) it covers every transaction
+    exactly once and (b) for every conflicting pair ``i < j`` the earlier
+    transaction's group strictly precedes the later's — executing groups
+    in order then respects all conflict dependencies.  A corrupted
+    schedule (a conflicting pair sharing a group, or ordered backwards)
+    fails the check.
+    """
+    graph = conflict_graph(txs, coinbase=coinbase)
+    if groups is None:
+        groups = analyze_block(txs, coinbase=coinbase).groups
+    group_of: dict[int, int] = {}
+    for group_index, group in enumerate(groups):
+        for i in group:
+            if i in group_of:  # duplicated index
+                return False
+            group_of[i] = group_index
+    if sorted(group_of) != list(range(len(txs))):  # missing/alien index
+        return False
+    return all(
+        group_of[min(edge)] < group_of[max(edge)] for edge in graph.edges
+    )

@@ -17,7 +17,7 @@ class TestRegistry:
         for expected in (
             "tvpr_ablation", "table1_dapp", "saturation_sweep",
             "weak_validator", "vote_batching_ablation", "chaos_soak",
-            "engine_scaling",
+            "engine_scaling", "parallel_exec_ablation",
         ):
             assert expected in names
         # renamed in the crash-recovery PR: a slow node is a delay fault

@@ -124,3 +124,116 @@ class TestAnalysis:
                 for b in group:
                     if a != b:
                         assert not graph.has_edge(a, b)
+
+
+class TestDeployAccessSet:
+    def test_deploy_writes_created_account(self):
+        from repro.core.transaction import make_deploy
+        from repro.vm.executor import contract_address_for
+
+        tx = make_deploy(KPS[0], b"\x01\x02", nonce=3)
+        created = contract_address_for(KPS[0].address, 3)
+        acc = access_set(tx)
+        assert f"acct:{created}" in acc.writes
+        assert f"store:{created}" in acc.writes
+
+    def test_deploy_conflicts_with_transfer_to_created_address(self):
+        from repro.core.transaction import make_deploy, make_transfer
+        from repro.vm.executor import contract_address_for
+
+        deploy = make_deploy(KPS[0], b"\x01", nonce=0)
+        created = contract_address_for(KPS[0].address, 0)
+        credit = make_transfer(KPS[1], created, 5, nonce=0)
+        assert access_set(deploy).conflicts_with(access_set(credit))
+
+    def test_deploy_conflicts_with_invoke_of_created_contract(self):
+        from repro.core.transaction import make_deploy, make_invoke
+        from repro.vm.executor import contract_address_for
+
+        deploy = make_deploy(KPS[0], b"\x01", nonce=0)
+        created = contract_address_for(KPS[0].address, 0)
+        call = make_invoke(KPS[1], created, "trade", ("AAPL", 1, 1), nonce=0)
+        assert access_set(deploy).conflicts_with(access_set(call))
+
+    def test_distinct_deploys_stay_parallel(self):
+        from repro.core.transaction import make_deploy
+
+        a = access_set(make_deploy(KPS[0], b"\x01", nonce=0))
+        b = access_set(make_deploy(KPS[1], b"\x02", nonce=0))
+        assert not a.conflicts_with(b)
+
+
+class TestScopeHierarchy:
+    def test_coarse_invoke_conflicts_with_fine_scope(self):
+        # An unscoped call owns the whole contract store; a per-symbol
+        # trade must order against it even though the keys differ.
+        coarse = make_invoke(KPS[0], EXCHANGE, "init", (), nonce=0)
+        fine = trade(1, "AAPL")
+        assert access_set(coarse).conflicts_with(access_set(fine))
+
+    def test_fine_scopes_stay_parallel(self):
+        assert not access_set(trade(0, "AAPL")).conflicts_with(
+            access_set(trade(1, "MSFT"))
+        )
+
+
+class TestOpaqueFunctions:
+    def test_complete_ride_is_opaque(self):
+        mobility = native_address_for("mobility")
+        tx = make_invoke(KPS[0], mobility, "complete_ride", (1,), nonce=0)
+        acc = access_set(tx)
+        assert acc.opaque
+        # opaque conflicts even with an otherwise-disjoint transfer
+        assert acc.conflicts_with(access_set(transfer(1, 2)))
+
+    def test_unknown_function_is_opaque(self):
+        tx = make_invoke(KPS[0], EXCHANGE, "mystery_fn", (), nonce=0)
+        assert access_set(tx).opaque
+
+    def test_known_functions_are_not_opaque(self):
+        assert not access_set(trade(0, "AAPL")).opaque
+
+    def test_opaque_serializes_whole_block(self):
+        mobility = native_address_for("mobility")
+        txs = [
+            transfer(0, 1),
+            make_invoke(KPS[2], mobility, "complete_ride", (1,), nonce=0),
+            transfer(3, 4),
+        ]
+        report = analyze_block(txs)
+        assert report.parallel_depth == 3
+
+
+class TestCoinbaseCommute:
+    def test_coinbase_sender_serializes(self):
+        coinbase = KPS[0].address
+        txs = [transfer(0, 1), transfer(2, 3)]
+        assert analyze_block(txs).parallel_depth == 1
+        assert analyze_block(txs, coinbase=coinbase).parallel_depth == 2
+
+    def test_plain_transfers_unaffected_by_foreign_coinbase(self):
+        txs = [transfer(0, 1), transfer(2, 3)]
+        assert analyze_block(txs, coinbase="f" * 40).parallel_depth == 1
+
+
+class TestScheduleVerification:
+    def test_derived_schedule_verifies(self):
+        txs = [transfer(0, 1), transfer(0, 2, nonce=1), transfer(2, 3)]
+        assert blocks_are_conflict_serialized(txs)
+
+    def test_corrupted_schedule_fails(self):
+        # 0 and 1 share a sender (conflict); putting them in one group —
+        # or swapping their group order — must be rejected.
+        txs = [transfer(0, 1), transfer(0, 2, nonce=1), transfer(2, 3)]
+        assert not blocks_are_conflict_serialized(txs, [[0, 1, 2]])
+        assert not blocks_are_conflict_serialized(txs, [[1, 2], [0]])
+
+    def test_incomplete_or_duplicated_cover_fails(self):
+        txs = [transfer(0, 1), transfer(2, 3)]
+        assert not blocks_are_conflict_serialized(txs, [[0]])
+        assert not blocks_are_conflict_serialized(txs, [[0, 1], [1]])
+
+    def test_valid_alternative_schedule_verifies(self):
+        # Spreading independent txs over extra groups is legal, just slow.
+        txs = [transfer(0, 1), transfer(2, 3)]
+        assert blocks_are_conflict_serialized(txs, [[0], [1]])

@@ -93,3 +93,71 @@ class TestTiming:
 
 def _exec_copy():
     return Executor(_fresh_state())
+
+
+class TestReceiptsBlockOrder:
+    def test_receipts_indexed_by_block_position(self, executor):
+        # Schedule order differs from block order: [a0, a1, b0] schedules
+        # as groups [[0, 2], [1]] (a1 must wait for a0; b0 is free), so
+        # flattened schedule order is 0, 2, 1 — receipts must still be
+        # returned as 0, 1, 2.
+        a, b = KPS[0], KPS[1]
+        txs = [
+            make_transfer(a, "aa" * 20, 1, nonce=0),
+            make_transfer(a, "aa" * 20, 2, nonce=1),
+            make_transfer(b, "bb" * 20, 3, nonce=0),
+        ]
+        result = execute_parallel(executor, txs, workers=4)
+        assert result.group_of == {0: 0, 2: 0, 1: 1}
+        assert len(result.receipts) == len(txs)
+        for i, tx in enumerate(txs):
+            assert result.receipts[i].tx_hash == tx.tx_hash
+
+    def test_failed_receipt_lands_at_its_position(self, executor):
+        txs = [
+            make_transfer(KPS[0], "aa" * 20, 1, nonce=0),
+            make_transfer(KPS[1], "bb" * 20, 1, nonce=99),  # bad nonce
+            make_transfer(KPS[2], "cc" * 20, 1, nonce=0),
+        ]
+        result = execute_parallel(executor, txs, workers=4)
+        assert [r.success for r in result.receipts] == [True, False, True]
+        assert result.receipts[1].error == "bad-nonce"
+
+
+class TestThreadedBackend:
+    def test_unknown_backend_rejected(self, executor):
+        with pytest.raises(ValueError):
+            execute_parallel(executor, [], backend="processes")
+
+    def test_threads_match_serial_oracle(self, registry):
+        txs = disjoint_transfers(24) + [
+            make_invoke(KPS[i], native_address_for("exchange"), "trade",
+                        (sym, 100, 5), nonce=3)
+            for i, sym in enumerate(("AAPL", "MSFT", "GOOG"))
+        ]
+        oracle = Executor(_fresh_state(), registry=registry)
+        oracle_result = execute_parallel(
+            oracle, txs, workers=8, coinbase="cb", backend="serial"
+        )
+        threaded = Executor(_fresh_state(), registry=registry)
+        threaded_result = execute_parallel(
+            threaded, txs, workers=8, coinbase="cb", backend="threads"
+        )
+        assert threaded.state.state_root() == oracle.state.state_root()
+        for serial_r, thread_r in zip(
+            oracle_result.receipts, threaded_result.receipts
+        ):
+            assert (serial_r.tx_hash, serial_r.success, serial_r.gas_used) == (
+                thread_r.tx_hash, thread_r.success, thread_r.gas_used
+            )
+        assert threaded_result.backend == "threads"
+        assert threaded_result.wall_time_s > 0.0
+
+    def test_threads_respect_conflict_chains(self, registry):
+        # Same-sender chain: must execute in order even under threads.
+        kp = KPS[0]
+        txs = [make_transfer(kp, "aa" * 20, 1, nonce=i) for i in range(6)]
+        ex = Executor(_fresh_state(), registry=registry)
+        result = execute_parallel(ex, txs, workers=8, backend="threads")
+        assert all(r.success for r in result.receipts)
+        assert ex.state.nonce_of(kp.address) == 6

@@ -1,0 +1,159 @@
+"""Differential test: serial oracle vs threaded parallel backend.
+
+Random mixed TRANSFER/DEPLOY/INVOKE blocks (including invalid
+transactions and opaque native calls) must produce identical state
+roots, per-position receipts and gas totals under every worker count —
+the tentpole determinism guarantee of the parallel executor.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.transaction import make_deploy, make_invoke, make_transfer
+from repro.crypto.keys import generate_keypair
+from repro.vm.contracts import (
+    ExchangeContract,
+    MobilityContract,
+    TicketingContract,
+)
+from repro.vm.contracts.base import NativeRegistry
+from repro.vm.executor import Executor, install_native
+from repro.vm.parallel import execute_parallel
+from repro.vm.state import WorldState
+
+KPS = [generate_keypair(7700 + i) for i in range(6)]
+COINBASE = "cb" * 20
+WORKERS = (1, 2, 8)
+
+
+def _registry() -> NativeRegistry:
+    reg = NativeRegistry()
+    reg.register(ExchangeContract())
+    reg.register(MobilityContract())
+    reg.register(TicketingContract())
+    return reg
+
+
+def _fresh_state() -> WorldState:
+    state = WorldState()
+    for kp in KPS:
+        state.create_account(kp.address, 10**12)
+    for name in ("exchange", "mobility", "ticketing"):
+        install_native(state, name)
+    state.commit()
+    return state
+
+
+def _build_block(seed: int, length: int) -> list:
+    """Deterministic mixed block: transfers, deploys, invokes, junk."""
+    from repro.vm.executor import native_address_for
+
+    rng = random.Random(seed)
+    exchange = native_address_for("exchange")
+    mobility = native_address_for("mobility")
+    ticketing = native_address_for("ticketing")
+    nonces = {kp.address: 0 for kp in KPS}
+    txs = []
+    for _ in range(length):
+        kp = rng.choice(KPS)
+        nonce = nonces[kp.address]
+        roll = rng.random()
+        if roll < 0.30:
+            tx = make_transfer(
+                kp, rng.choice(KPS).address, rng.randint(1, 50), nonce=nonce
+            )
+        elif roll < 0.45:
+            tx = make_deploy(
+                kp, bytes([rng.randint(0, 255)]) * rng.randint(1, 8), nonce=nonce
+            )
+        elif roll < 0.65:
+            tx = make_invoke(
+                kp, exchange, "trade",
+                (rng.choice(("AAPL", "MSFT", "GOOG")), rng.randint(1, 9),
+                 rng.randint(1, 9)),
+                nonce=nonce,
+            )
+        elif roll < 0.75:
+            tx = make_invoke(
+                kp, ticketing, "open_match",
+                (rng.randint(1, 3), rng.randint(10, 20), rng.randint(1, 5)),
+                nonce=nonce,
+            )
+        elif roll < 0.85:
+            # opaque native call — forces whole-block serialization points
+            tx = make_invoke(
+                kp, mobility, "complete_ride", (rng.randint(1, 3),), nonce=nonce
+            )
+        elif roll < 0.95:
+            tx = make_invoke(kp, exchange, "last_price", ("AAPL",), nonce=nonce)
+        else:
+            # invalid on purpose: future nonce → bad-nonce receipt
+            tx = make_transfer(kp, KPS[0].address, 1, nonce=nonce + 50)
+            nonces[kp.address] -= 1
+        nonces[kp.address] += 1
+        txs.append(tx)
+    return txs
+
+
+def _receipt_key(receipt):
+    return (
+        receipt.tx_hash,
+        receipt.success,
+        receipt.gas_used,
+        receipt.error,
+        repr(receipt.return_value),
+        receipt.contract_address,
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       length=st.integers(min_value=1, max_value=40))
+def test_threads_match_serial_oracle(seed, length):
+    txs = _build_block(seed, length)
+    registry = _registry()
+
+    oracle_state = _fresh_state()
+    oracle = Executor(oracle_state, registry=registry)
+    oracle_receipts = [oracle.execute(tx, coinbase=COINBASE) for tx in txs]
+    oracle_root = oracle_state.state_root()
+    oracle_gas = sum(r.gas_used for r in oracle_receipts)
+
+    for workers in WORKERS:
+        state = _fresh_state()
+        executor = Executor(state, registry=registry)
+        result = execute_parallel(
+            executor, txs, workers=workers, coinbase=COINBASE, backend="threads"
+        )
+        assert state.state_root() == oracle_root, f"root mismatch at w={workers}"
+        assert len(result.receipts) == len(txs)
+        for position, (want, got) in enumerate(
+            zip(oracle_receipts, result.receipts)
+        ):
+            assert _receipt_key(want) == _receipt_key(got), (
+                f"receipt {position} diverged at workers={workers}"
+            )
+        assert sum(r.gas_used for r in result.receipts) == oracle_gas
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_serial_backend_is_a_faithful_oracle(seed):
+    """The ``serial`` backend itself equals plain block-order execution."""
+    txs = _build_block(seed, 25)
+    registry = _registry()
+
+    plain_state = _fresh_state()
+    plain = Executor(plain_state, registry=registry)
+    for tx in txs:
+        plain.execute(tx, coinbase=COINBASE)
+
+    scheduled_state = _fresh_state()
+    scheduled = Executor(scheduled_state, registry=registry)
+    execute_parallel(
+        scheduled, txs, workers=4, coinbase=COINBASE, backend="serial"
+    )
+    assert scheduled_state.state_root() == plain_state.state_root()
