@@ -41,6 +41,8 @@ from repro.bench.scenarios import (
     get_scenario,
     run_chaos_soak,
     run_engine_scaling,
+    run_table1_scale,
+    run_trace_replay,
     scenario_names,
 )
 
@@ -66,6 +68,8 @@ __all__ = [
     "run_engine_scaling",
     "run_scenario",
     "run_scenarios",
+    "run_table1_scale",
+    "run_trace_replay",
     "scenario_names",
     "validate_artifact",
 ]

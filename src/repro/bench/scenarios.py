@@ -35,6 +35,8 @@ __all__ = [
     "run_chaos_soak",
     "run_engine_scaling",
     "run_saturation_probe",
+    "run_table1_scale",
+    "run_trace_replay",
 ]
 
 
@@ -498,12 +500,13 @@ def _run_chaos_soak(reg: MetricsRegistry) -> dict:
 
 def run_engine_scaling(
     *,
-    sizes: "tuple[int, ...]" = (4, 8, 16, 32),
+    sizes: "tuple[int, ...]" = (4, 8, 16, 32, 48),
     seed: int = 9,
     clients: int = 8,
     nonces: int = 4,
     send_window_s: float = 2.0,
     horizon_s: float = 6.0,
+    repeats: int = 2,
 ) -> dict:
     """Message-level engine cost vs committee size, under the profiler.
 
@@ -511,10 +514,15 @@ def run_engine_scaling(
     deployments of ``n ∈ sizes`` validators with a wall-clock
     :class:`~repro.telemetry.profiling.Profiler` attached to each event
     loop, and fits power laws to both the deterministic event counts
-    (``event_scaling_exponent`` — gated tight) and the measured wall
-    time (``wall_scaling_exponent`` — gated generously; hosts differ in
-    speed but not in asymptotics).  Per-subsystem ``us_per_event:*``
-    keys, ``events_per_sec`` and ``peak_rss_mb`` are informational
+    (``event_scaling_exponent`` — gated tight) and the measured run time
+    (``wall_scaling_exponent`` — gated generously; hosts differ in
+    speed but not in asymptotics).  Each size is run ``repeats`` times
+    and timed by **process CPU time, min-of-N** — scheduler contention
+    on shared runners inflates wall clock but not CPU time, and the
+    minimum is the least-noisy estimator of the true cost.  The repeats
+    double as a free determinism check: every run of a size must process
+    the identical event count.  Per-subsystem ``us_per_event:*`` keys,
+    ``events_per_sec`` and ``peak_rss_mb`` are informational
     (wall-clock markers, never gated).
 
     CI's smoke job calls this directly with ``sizes=(4, 8)``.
@@ -532,33 +540,48 @@ def run_engine_scaling(
     wall_times: "list[float]" = []
     subsystems: "dict[str, list[float]]" = {}
     for n in sizes:
-        prof = profiling.Profiler()
-        keypairs, balances = fund_clients(clients, seed=5000 + seed)
-        deployment = Deployment(
-            protocol=params.ProtocolParams(n=n, tvpr=True, rpm=False),
-            topology=single_region_topology(n),
-            extra_balances=balances,
-            seed=seed,
-        )
-        # Attach directly (no global use_profiler): each size gets its
-        # own profiler, and nothing has been scheduled yet.
-        deployment.sim.profiler = prof
-        deployment.start()
-        total = clients * nonces
-        gap = send_window_s / total
-        for nonce in range(nonces):
-            for i, keypair in enumerate(keypairs):
-                k = nonce * clients + i
-                tx = make_transfer(
-                    keypair, keypairs[(i + 1) % clients].address, 1,
-                    nonce=nonce, created_at=k * gap,
-                )
-                deployment.submit(tx, validator_id=i % n, at=k * gap)
-        t0 = _time.perf_counter()
-        deployment.run_until(horizon_s)
-        wall = max(_time.perf_counter() - t0, 1e-9)
-        prof.phase(f"n={n}")
-        prof.finish()
+        best_cpu = None
+        first = None
+        for rep in range(max(1, repeats)):
+            prof = profiling.Profiler()
+            keypairs, balances = fund_clients(clients, seed=5000 + seed)
+            deployment = Deployment(
+                protocol=params.ProtocolParams(n=n, tvpr=True, rpm=False),
+                topology=single_region_topology(n),
+                extra_balances=balances,
+                seed=seed,
+            )
+            # Attach directly (no global use_profiler): each size gets
+            # its own profiler, and nothing has been scheduled yet.
+            deployment.sim.profiler = prof
+            deployment.start()
+            total = clients * nonces
+            gap = send_window_s / total
+            for nonce in range(nonces):
+                for i, keypair in enumerate(keypairs):
+                    k = nonce * clients + i
+                    tx = make_transfer(
+                        keypair, keypairs[(i + 1) % clients].address, 1,
+                        nonce=nonce, created_at=k * gap,
+                    )
+                    deployment.submit(tx, validator_id=i % n, at=k * gap)
+            c0 = _time.process_time()
+            deployment.run_until(horizon_s)
+            cpu = max(_time.process_time() - c0, 1e-9)
+            prof.phase(f"n={n}")
+            prof.finish()
+            if first is None:
+                first = (deployment, prof)
+            else:
+                # Same seed, same workload: any event-count drift between
+                # repeats is a determinism bug, not timing noise.
+                assert deployment.sim.events_processed == int(
+                    first[0].sim.events_processed
+                ), (n, rep, deployment.sim.events_processed)
+            if best_cpu is None or cpu < best_cpu:
+                best_cpu = cpu
+        deployment, prof = first
+        wall = best_cpu
 
         events = float(deployment.sim.events_processed)
         event_counts.append(events)
@@ -579,9 +602,31 @@ def run_engine_scaling(
     headline["event_scaling_exponent"] = round(
         float(np.polyfit(log_sizes, np.log(np.asarray(event_counts)), 1)[0]), 4
     )
-    headline["wall_scaling_exponent"] = round(
-        float(np.polyfit(log_sizes, np.log(np.asarray(wall_times)), 1)[0]), 4
+    # Two wall fits.  The *gate* fit covers the historical n ≤ 32 range and
+    # measures the engine's per-event constant (what this repo can
+    # optimize); the full-range fit includes the largest committees, where
+    # the protocol's Θ(n³) logical vote volume (n instances × n voters
+    # delivered to n nodes, batching only compresses the wire) starts to
+    # dominate and no engine constant can hide it.  The full-range value
+    # is informational (a wall-clock marker).
+    gate_idx = [i for i, n in enumerate(sizes) if n <= 32] or list(
+        range(len(sizes))
     )
+    headline["wall_scaling_exponent"] = round(
+        float(
+            np.polyfit(
+                log_sizes[gate_idx],
+                np.log(np.asarray(wall_times)[gate_idx]),
+                1,
+            )[0]
+        ),
+        4,
+    )
+    if len(gate_idx) < len(sizes):
+        headline["wall_scaling_exponent_full"] = round(
+            float(np.polyfit(log_sizes, np.log(np.asarray(wall_times)), 1)[0]),
+            4,
+        )
     headline["events_per_sec"] = round(
         sum(event_counts) / sum(wall_times), 2
     )
@@ -600,6 +645,201 @@ def _run_engine_scaling(reg: MetricsRegistry) -> dict:
     and measured wall time must not blow past the established scaling
     exponent (generous gate; absolute speeds stay informational)."""
     return run_engine_scaling()
+
+
+def run_trace_replay(
+    workload: str,
+    *,
+    n: int = 4,
+    clients: int = 64,
+    seed: int = 17,
+    grace_s: float = 30.0,
+) -> dict:
+    """Replay one published workload envelope (§V) at full scale on the
+    message-level engine: every transaction of the paper's trace is
+    pre-signed (cached across runs in-process — see
+    :mod:`repro.diablo.client`) and pushed through a real ``n``-validator
+    deployment.  Sim-time quantities (throughput, commit rate, latency
+    quantiles, backlog drain) are deterministic and gated; the wall-clock
+    cost of the replay is reported under the informational ``wall_s_n*``
+    marker.  These runs only became affordable with the engine fast path
+    — the full NASDAQ trace is 30 240 transactions, FIFA is 626 940.
+    """
+    import time as _time
+
+    from repro import params as _params
+    from repro.diablo.runner import run_dapp_workload
+
+    envelope = {
+        "nasdaq": _params.NASDAQ_ENVELOPE,
+        "uber": _params.UBER_ENVELOPE,
+        "fifa": _params.FIFA_ENVELOPE,
+    }[workload]
+    start = _time.process_time()
+    outcome = run_dapp_workload(
+        workload, scale=1.0, n=n, clients=clients, grace_s=grace_s, seed=seed
+    )
+    wall = _time.process_time() - start
+    result = outcome.result
+    deployment = outcome.deployment
+    latencies = result.latencies_s
+    headline = {
+        "trace_txs": float(result.sent),
+        "trace_peak_tps": float(envelope.peak_tps),
+        "trace_duration_s": float(envelope.duration_s),
+        "throughput_tps": round(result.throughput_tps, 4),
+        "commit_rate": round(result.commit_rate, 6),
+        "committed": float(result.committed),
+        "dropped": float(result.dropped),
+        "avg_latency_s": round(result.avg_latency_s, 4),
+        "p50_latency_s": round(
+            float(np.percentile(latencies, 50)) if len(latencies) else 0.0, 4
+        ),
+        "p95_latency_s": round(
+            float(np.percentile(latencies, 95)) if len(latencies) else 0.0, 4
+        ),
+        "p99_latency_s": round(
+            float(np.percentile(latencies, 99)) if len(latencies) else 0.0, 4
+        ),
+        # How far past the trace's end the last commit landed: the
+        # backlog-drain time the paper reports for over-capacity bursts.
+        "backlog_drain_s": round(
+            max(0.0, result.duration_s - envelope.duration_s), 4
+        ),
+        "height": float(
+            max(v.blockchain.height for v in deployment.correct_validators)
+        ),
+        "safety_holds": float(deployment.safety_holds()),
+        "states_agree": float(deployment.states_agree()),
+        f"wall_s_n{n}": round(wall, 4),
+    }
+    return headline
+
+
+def _run_trace_replay_nasdaq(reg: MetricsRegistry) -> dict:
+    headline = run_trace_replay("nasdaq")
+    headline.update(_dapp_derived(reg, headline["committed"]))
+    return headline
+
+
+def _run_trace_replay_uber(reg: MetricsRegistry) -> dict:
+    headline = run_trace_replay("uber")
+    headline.update(_dapp_derived(reg, headline["committed"]))
+    return headline
+
+
+def _run_trace_replay_fifa(reg: MetricsRegistry) -> dict:
+    headline = run_trace_replay("fifa", clients=128)
+    headline.update(_dapp_derived(reg, headline["committed"]))
+    return headline
+
+
+def run_table1_scale(
+    *,
+    n: int = 200,
+    seed: int = 7,
+    valid_count: int = 300,
+    invalid_count: int = 150,
+    clients: int = 16,
+    send_rate_tps: float = 15_000.0,
+    degree: int = 12,
+    horizon_s: float = 6.0,
+    step_s: float = 0.25,
+    settle_s: float = 0.5,
+) -> dict:
+    """Table I's flooding workload at paper-scale committee size.
+
+    ``n`` validators (default 200 — the paper's AWS fleet size) over the
+    multi-region topology, one weak (+400 ms) validator, and the Table I
+    open-loop mix of funded transfers interleaved with invalid
+    (unfunded-sender) floods at 15 000 TPS.  The run advances on a fixed
+    ``step_s`` grid until every valid transaction is committed on every
+    correct validator (or ``horizon_s`` expires), then settles
+    ``settle_s`` more so all chains converge; every headline quantity
+    except ``wall_s_n*`` is simulated-time and deterministic.
+
+    A protocol round at n=200 moves Θ(n³) logical votes (n instances ×
+    n voters × n receivers — batching compresses the wire, not the
+    dispatch count), so this scenario is the most expensive registered
+    one; CI runs a reduced-n variant (see the profile-smoke job).
+    """
+    import time as _time
+
+    from repro import params as _params
+    from repro.core.deployment import Deployment
+    from repro.diablo.benchmark import DiabloBenchmark
+    from repro.diablo.client import LoadSchedule, RoundRobinSubmitter
+    from repro.net.faults import slow_nodes
+    from repro.net.topology import global_topology
+    from repro.workloads.synthetic import (
+        factory_balances,
+        flooding_mix,
+        transfer_request_factory,
+    )
+
+    factory = transfer_request_factory(clients=clients, seed=950)
+    balances = factory_balances(factory)
+    txs = flooding_mix(
+        valid_count, invalid_count,
+        send_rate_tps=send_rate_tps, clients=clients, seed=950,
+    )
+    valid = [tx for tx in txs if tx.sender in balances]
+    deployment = Deployment(
+        protocol=_params.ProtocolParams(n=n, tvpr=True, rpm=False),
+        topology=global_topology(n, degree=degree, seed=seed),
+        extra_balances=balances,
+        seed=seed,
+    )
+    deployment.network.adversarial_delay = slow_nodes([n - 1], 0.4)
+    schedule = LoadSchedule.from_transactions(txs, name=f"table1-n{n}")
+    bench = DiabloBenchmark(deployment, submitter=RoundRobinSubmitter())
+    deployment.start()
+    bench.submitter.submit_all(deployment, schedule)
+    start = _time.process_time()
+    commit_done_s = 0.0
+    t = 0.0
+    while t < horizon_s:
+        t = round(t + step_s, 10)
+        deployment.run_until(t)
+        if all(deployment.committed_everywhere(tx) for tx in valid):
+            commit_done_s = t
+            break
+    if commit_done_s:
+        # Let in-flight rounds finish so chains/states converge before
+        # the safety checks sample them.
+        t = round(t + settle_s, 10)
+        deployment.run_until(t)
+    wall = _time.process_time() - start
+    result = bench.collect(schedule, t)
+    heights = {v.blockchain.height for v in deployment.correct_validators}
+    hashes = {
+        tuple(v.blockchain.block_hashes())
+        for v in deployment.correct_validators
+    }
+    headline = {
+        "sent_valid": float(len(valid)),
+        "sent_invalid": float(len(txs) - len(valid)),
+        "committed": float(result.committed),
+        "commit_rate_valid": round(_ratio(result.committed, len(valid)), 6),
+        "commit_done_s": round(commit_done_s, 4),
+        "avg_latency_s": round(result.avg_latency_s, 4),
+        "height": float(max(heights)),
+        "chains_identical": float(len(hashes) == 1 and len(heights) == 1),
+        "safety_holds": float(deployment.safety_holds()),
+        "states_agree": float(deployment.states_agree()),
+        f"events_n{n}": float(deployment.sim.events_processed),
+        f"wall_s_n{n}": round(wall, 4),
+        f"events_per_sec_n{n}": round(
+            deployment.sim.events_processed / max(wall, 1e-9), 2
+        ),
+    }
+    return headline
+
+
+def _run_table1_scale_200(reg: MetricsRegistry) -> dict:
+    headline = run_table1_scale()
+    headline.update(_dapp_derived(reg, headline["committed"]))
+    return headline
 
 
 def _run_parallel_exec_ablation(reg: MetricsRegistry) -> dict:
@@ -983,6 +1223,51 @@ register_scenario(Scenario(
     seed=1,
     cost_rank=6,
     tags=("vm", "parallel", "ablation"),
+))
+
+register_scenario(Scenario(
+    name="trace_replay_nasdaq",
+    description="Full published NASDAQ envelope (30 240 txs, peak 19 800 "
+    "TPS) replayed on a 4-validator message-level deployment: burst "
+    "tolerance with every transaction pre-signed and exact",
+    run=_run_trace_replay_nasdaq,
+    seed=17,
+    cost_rank=5,
+    tags=("engine", "replay", "workloads"),
+))
+
+register_scenario(Scenario(
+    name="trace_replay_uber",
+    description="Full published Uber envelope (102 240 txs, sustained "
+    "~850 TPS) replayed on a 4-validator message-level deployment: "
+    "steady-state commit capacity",
+    run=_run_trace_replay_uber,
+    seed=17,
+    cost_rank=7,
+    tags=("engine", "replay", "workloads"),
+))
+
+register_scenario(Scenario(
+    name="trace_replay_fifa",
+    description="Full published FIFA envelope (626 940 txs, avg 3 483 "
+    "TPS) replayed on a 4-validator message-level deployment: capacity "
+    "exhaustion and backlog drain",
+    run=_run_trace_replay_fifa,
+    seed=17,
+    cost_rank=8,
+    tags=("engine", "replay", "workloads"),
+))
+
+register_scenario(Scenario(
+    name="table1_scale_200",
+    description="Table I flooding mix on a 200-validator multi-region "
+    "committee with one weak (+400 ms) node: every valid transaction "
+    "must commit everywhere within the sim-time budget (message-level "
+    "engine; the most expensive scenario — CI runs a reduced-n variant)",
+    run=_run_table1_scale_200,
+    seed=7,
+    cost_rank=9,
+    tags=("engine", "scale", "faults", "regions"),
 ))
 
 register_scenario(Scenario(

@@ -30,7 +30,7 @@ def _digest(payload: Any) -> bytes:
     return hash_items([repr(payload)])
 
 
-@dataclass
+@dataclass(slots=True)
 class _SlotState:
     """State for one broadcaster slot."""
 
@@ -69,9 +69,10 @@ class ReliableBroadcast:
         self._slots: dict[int, _SlotState] = {}
 
     def _slot(self, instance: int) -> _SlotState:
-        if instance not in self._slots:
-            self._slots[instance] = _SlotState()
-        return self._slots[instance]
+        slot = self._slots.get(instance)
+        if slot is None:
+            slot = self._slots[instance] = _SlotState()
+        return slot
 
     def _send(self, kind: MsgKind, instance: int, value: Any) -> None:
         if self.passive:
@@ -106,27 +107,34 @@ class ReliableBroadcast:
             # Count our own echo implicitly via loopback delivery.
         elif msg.kind is MsgKind.RBC_ECHO:
             digest, payload = msg.value
-            senders = slot.echo_senders.setdefault(digest, set())
-            if msg.sender in senders:
+            senders = slot.echo_senders.get(digest)
+            if senders is None:
+                senders = slot.echo_senders[digest] = set()
+            elif msg.sender in senders:
                 return
             senders.add(msg.sender)
             slot.payloads.setdefault(digest, payload)
-            self._check_ready(msg.instance, digest)
+            self._check_ready(msg.instance, digest, slot)
         elif msg.kind is MsgKind.RBC_READY:
             digest, payload = msg.value
-            senders = slot.ready_senders.setdefault(digest, set())
-            if msg.sender in senders:
+            senders = slot.ready_senders.get(digest)
+            if senders is None:
+                senders = slot.ready_senders[digest] = set()
+            elif msg.sender in senders:
                 return
             senders.add(msg.sender)
             if payload is not None:
                 slot.payloads.setdefault(digest, payload)
-            self._check_ready(msg.instance, digest)
-            self._check_deliver(msg.instance, digest)
+            self._check_ready(msg.instance, digest, slot)
+            self._check_deliver(msg.instance, digest, slot)
 
     # -- thresholds ----------------------------------------------------------------
 
-    def _check_ready(self, instance: int, digest: bytes) -> None:
-        slot = self._slot(instance)
+    def _check_ready(
+        self, instance: int, digest: bytes, slot: _SlotState | None = None
+    ) -> None:
+        if slot is None:
+            slot = self._slot(instance)
         if slot.ready_sent:
             return
         echoes = len(slot.echo_senders.get(digest, ()))
@@ -135,10 +143,13 @@ class ReliableBroadcast:
             slot.ready_sent = True
             payload = slot.payloads.get(digest)
             self._send(MsgKind.RBC_READY, instance, (digest, payload))
-            self._check_deliver(instance, digest)
+            self._check_deliver(instance, digest, slot)
 
-    def _check_deliver(self, instance: int, digest: bytes) -> None:
-        slot = self._slot(instance)
+    def _check_deliver(
+        self, instance: int, digest: bytes, slot: _SlotState | None = None
+    ) -> None:
+        if slot is None:
+            slot = self._slot(instance)
         if slot.delivered:
             return
         readys = len(slot.ready_senders.get(digest, ()))

@@ -43,6 +43,12 @@ MAX_ROUNDS = 64
 
 logger = logging.getLogger("repro.consensus.dbft")
 
+# hot-loop locals: one global load instead of an Enum attribute walk per
+# message (this dispatcher sees every vote of every binary instance)
+_BVAL = MsgKind.BVAL
+_AUX = MsgKind.AUX
+_COORD = MsgKind.COORD
+
 
 def _build_metrics(reg: telemetry.MetricsRegistry) -> SimpleNamespace:
     decisions = reg.counter(
@@ -66,7 +72,7 @@ def _build_metrics(reg: telemetry.MetricsRegistry) -> SimpleNamespace:
 _metrics = telemetry.bind(_build_metrics)
 
 
-@dataclass
+@dataclass(slots=True)
 class _RoundState:
     """Per-round bookkeeping (sender sets prevent Byzantine double votes)."""
 
@@ -74,6 +80,9 @@ class _RoundState:
     bval_echoed: set[int] = field(default_factory=set)  # values we echoed
     bin_values: set[int] = field(default_factory=set)
     aux_senders: dict[int, int] = field(default_factory=dict)  # sender -> value
+    #: per-value AUX tallies mirroring ``aux_senders`` so the round-exit
+    #: check is O(1) instead of a scan over all recorded votes
+    aux_counts: list[int] = field(default_factory=lambda: [0, 0])
     aux_sent: bool = False
     coord_value: int | None = None
 
@@ -156,23 +165,29 @@ class BinaryConsensus:
         """Feed a BVAL/AUX/COORD message addressed to this instance."""
         if msg.round > MAX_ROUNDS:
             return
-        state = self._round_state(msg.round)
-        if msg.kind is MsgKind.BVAL:
+        state = self._rounds.get(msg.round)
+        if state is None:
+            state = self._rounds[msg.round] = _RoundState()
+        kind = msg.kind
+        if kind is _BVAL:
             value = int(msg.value)
             if value not in (0, 1):
                 return  # Byzantine garbage
-            senders = state.bval_senders.setdefault(value, set())
-            if msg.sender in senders:
+            senders = state.bval_senders.get(value)
+            if senders is None:
+                senders = state.bval_senders[value] = set()
+            elif msg.sender in senders:
                 return  # duplicate vote
             senders.add(msg.sender)
-            self._check_bval(msg.round, value)
-        elif msg.kind is MsgKind.AUX:
+            self._check_bval(msg.round, value, state)
+        elif kind is _AUX:
             value = int(msg.value)
             if value not in (0, 1) or msg.sender in state.aux_senders:
                 return
             state.aux_senders[msg.sender] = value
-            self._try_advance(msg.round)
-        elif msg.kind is MsgKind.COORD:
+            state.aux_counts[value] += 1
+            self._try_advance(msg.round, state)
+        elif kind is _COORD:
             coord = (msg.round - 1) % self.n
             if msg.sender == coord and state.coord_value is None:
                 value = int(msg.value)
@@ -183,9 +198,10 @@ class BinaryConsensus:
     # -- internals -----------------------------------------------------------
 
     def _round_state(self, r: int) -> _RoundState:
-        if r not in self._rounds:
-            self._rounds[r] = _RoundState()
-        return self._rounds[r]
+        state = self._rounds.get(r)
+        if state is None:
+            state = self._rounds[r] = _RoundState()
+        return state
 
     def _participating(self) -> bool:
         """Whether this node still sends messages (grace after decide)."""
@@ -234,8 +250,9 @@ class BinaryConsensus:
             self._check_bval(self.round, value)
         self._try_advance(self.round)
 
-    def _check_bval(self, r: int, value: int) -> None:
-        state = self._round_state(r)
+    def _check_bval(self, r: int, value: int, state: _RoundState | None = None) -> None:
+        if state is None:
+            state = self._round_state(r)
         count = len(state.bval_senders.get(value, ()))
         # Echo once f+1 distinct nodes back the value (amplification).
         if count >= self.f + 1 and value not in state.bval_echoed:
@@ -245,11 +262,12 @@ class BinaryConsensus:
         # 2f+1 distinct BVALs: at least one correct proposer → bin_values.
         if count >= 2 * self.f + 1 and value not in state.bin_values:
             state.bin_values.add(value)
-            self._maybe_send_aux(r)
-            self._try_advance(r)
+            self._maybe_send_aux(r, state)
+            self._try_advance(r, state)
 
-    def _maybe_send_aux(self, r: int) -> None:
-        state = self._round_state(r)
+    def _maybe_send_aux(self, r: int, state: _RoundState | None = None) -> None:
+        if state is None:
+            state = self._round_state(r)
         if state.aux_sent or not state.bin_values or r != self.round:
             return
         if not self._participating():
@@ -261,26 +279,28 @@ class BinaryConsensus:
         state.aux_sent = True
         self._send(MsgKind.AUX, r, value)
 
-    def _try_advance(self, r: int) -> None:
+    def _try_advance(self, r: int, state: _RoundState | None = None) -> None:
         """Check the round-r exit condition and move to round r+1."""
         if r != self.round or not self._started:
             return
-        state = self._round_state(r)
-        self._maybe_send_aux(r)
-        if not state.bin_values:
+        if state is None:
+            state = self._round_state(r)
+        self._maybe_send_aux(r, state)
+        bin_values = state.bin_values
+        if not bin_values:
             return
-        # n−f AUX messages whose values are all in bin_values.
-        valid = {
-            sender: value
-            for sender, value in state.aux_senders.items()
-            if value in state.bin_values
-        }
-        if len(valid) < self.n - self.f:
+        # n−f AUX messages whose values are all in bin_values; the
+        # per-value tallies make this O(1) (it used to rebuild a dict of
+        # every valid vote on each AUX arrival — the single hottest line
+        # at committee scale).
+        counts = state.aux_counts
+        c0 = counts[0] if 0 in bin_values else 0
+        c1 = counts[1] if 1 in bin_values else 0
+        if c0 + c1 < self.n - self.f:
             return
-        values = set(valid.values())
         coin = self._coin(r)
-        if len(values) == 1:
-            (v,) = values
+        if not (c0 and c1):
+            v = 0 if c0 else 1
             if v == coin and self.decided is None:
                 self.decided = v
                 self._decided_round = r

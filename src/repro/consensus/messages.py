@@ -32,6 +32,10 @@ def _payload_size(value: Any) -> int:
     ``(digest, block-or-None)`` tuple — containers of *mixed* element
     types, each element sized recursively.
     """
+    if type(value) is int:
+        # Exact-type check first: 0/1 vote estimates dominate the traffic
+        # (bool stays on its own branch below — it is an int subclass).
+        return max(1, (value.bit_length() + 7) // 8)
     if value is None:
         return 0
     if isinstance(value, (bytes, bytearray)):
@@ -105,13 +109,24 @@ class ConsensusBatch:
 
     def approx_size(self) -> int:
         """Wire size: one shared envelope + compact per-vote records."""
-        return self.HEADER_BYTES + sum(
-            self.PER_MESSAGE_BYTES + _payload_size(m.value) for m in self.messages
-        )
+        cached = self.__dict__.get("_approx_size")
+        if cached is None:
+            cached = self.HEADER_BYTES + sum(
+                self.PER_MESSAGE_BYTES + _payload_size(m.value)
+                for m in self.messages
+            )
+            # Frozen dataclass: memoize via object.__setattr__ (the batch
+            # is immutable, and its size is re-read on flush and on send).
+            object.__setattr__(self, "_approx_size", cached)
+        return cached
 
     def standalone_size(self) -> int:
         """What the constituents would have cost sent individually."""
-        return sum(m.approx_size() for m in self.messages)
+        cached = self.__dict__.get("_standalone_size")
+        if cached is None:
+            cached = sum(m.approx_size() for m in self.messages)
+            object.__setattr__(self, "_standalone_size", cached)
+        return cached
 
     def bytes_saved(self) -> int:
         """Wire bytes avoided by batching (never negative)."""

@@ -108,6 +108,7 @@ class SuperBlockConsensus:
 
         self.proposals: dict[int, Block] = {}
         self.decisions: dict[int, int] = {}
+        self._ones = 0  # running count of decided-1 slots (close-round rule)
         self.finished = False
         self.superblock: SuperBlock | None = None
         #: proposals RBC-delivered but with invalid headers (discarded)
@@ -170,8 +171,37 @@ class SuperBlockConsensus:
         else:
             instance = self.instances.get(msg.instance)
             if instance is not None:
+                # No trailing _check_done here: the only mutations that can
+                # complete the round happen inside _on_decide/_on_rbc_deliver,
+                # and both already end with _check_done — calling it per
+                # constituent was pure overhead at committee scale.
                 instance.on_message(msg)
-                self._check_done()
+
+    def on_constituent(self, msg: ConsensusMessage) -> None:
+        """Uncounted fast path for batch constituents.
+
+        Equivalent to ``on_message(msg, record=False)`` with the counting
+        and keyword plumbing stripped: the vote-batch unpack loop calls
+        this millions of times per committee-scale run.
+        """
+        kind = msg.kind
+        if kind is MsgKind.BVAL or kind is MsgKind.AUX or kind is MsgKind.COORD:
+            if msg.index != self.index:
+                return
+            instance = self.instances.get(msg.instance)
+            if instance is not None:
+                instance.on_message(msg)
+        elif kind is MsgKind.BATCH:
+            for constituent in msg.value:
+                self.on_constituent(constituent)
+        elif msg.index != self.index:
+            return
+        elif kind in _RBC_KINDS:
+            self.rbc.on_message(msg)
+        else:
+            instance = self.instances.get(msg.instance)
+            if instance is not None:
+                instance.on_message(msg)
 
     # -- callbacks -----------------------------------------------------------------
 
@@ -219,9 +249,10 @@ class SuperBlockConsensus:
 
     def _on_decide(self, instance_id: int, value: int) -> None:
         self.decisions[instance_id] = value
+        if value == 1:
+            self._ones += 1
         if value == 1 and not self.passive:
-            ones = sum(1 for v in self.decisions.values() if v == 1)
-            if ones >= self.n - self.f:
+            if self._ones >= self.n - self.f:
                 # RBBC rule: enough proposals are in — close the round by
                 # voting 0 on everything still undecided on our side.
                 for i in self.instances:

@@ -49,6 +49,10 @@ class GenesisSpec:
         TicketingContract.name,
         RPMContract.name,
     )
+    #: optional workload-specific state setup (e.g. opening the FIFA
+    #: ticket matches) run last; must be deterministic — every validator
+    #: builds genesis independently and the roots have to agree
+    extra_setup: "Callable[[WorldState], None] | None" = None
 
     def build(self, state: WorldState) -> None:
         for name in self.natives:
@@ -62,6 +66,8 @@ class GenesisSpec:
         state.storage_set(rpm_addr, "validators", tuple(self.validator_addresses))
         for address in self.validator_addresses:
             state.storage_set(rpm_addr, f"deposit:{address}", self.validator_deposit)
+        if self.extra_setup is not None:
+            self.extra_setup(state)
 
 
 class Deployment:
@@ -82,6 +88,8 @@ class Deployment:
         execution_rate: float = 20_000.0,
         net_params: params.NetParams | None = None,
         fault_schedule: FaultSchedule | None = None,
+        sim: Simulator | None = None,
+        genesis_setup: Callable[[WorldState], None] | None = None,
     ):
         self.protocol = protocol or params.ProtocolParams()
         n = self.protocol.n
@@ -90,7 +98,9 @@ class Deployment:
             raise ValueError(
                 f"topology has {self.topology.n} nodes but protocol.n = {n}"
             )
-        self.sim = Simulator()
+        #: injectable engine — the differential suite passes
+        #: ``Simulator(coalesce=False)`` to run the reference scheduler
+        self.sim = sim or Simulator()
         # Lifecycle stamping sites without a sim in scope (the consensus
         # layer) read the recorder's bound clock; point it at this
         # deployment's simulated time whenever recording is on.
@@ -111,6 +121,7 @@ class Deployment:
             balances=balances,
             validator_addresses=addresses,
             validator_deposit=self.protocol.validator_deposit,
+            extra_setup=genesis_setup,
         )
 
         # One registry per deployment so committee-size-dependent contracts

@@ -563,10 +563,26 @@ class ValidatorNode:
                 # feed constituents to their (index, instance) in emission
                 # order.  Constituents may span chain indexes.
                 record_wire_kind(MsgKind.BATCH)
-                for constituent in cmsg.value:
-                    self._dispatch_consensus(
-                        constituent, msg.sender, record=False
-                    )
+                if (
+                    type(self)._dispatch_consensus
+                    is ValidatorNode._dispatch_consensus
+                    and not self._recovering
+                    and not self._catchup_floor
+                ):
+                    # Steady state on the base node class: skip the
+                    # per-constituent dispatch/admission call frames —
+                    # this loop is the hottest code in a committee run.
+                    consensus_map = self._consensus
+                    for constituent in cmsg.value:
+                        consensus = consensus_map.get(constituent.index)
+                        if consensus is None:
+                            consensus = self._consensus_for(constituent.index)
+                        consensus.on_constituent(constituent)
+                else:
+                    for constituent in cmsg.value:
+                        self._dispatch_consensus(
+                            constituent, msg.sender, record=False
+                        )
             else:
                 self._dispatch_consensus(cmsg, msg.sender)
         elif msg.kind == GossipLayer.KIND:
@@ -612,6 +628,19 @@ class ValidatorNode:
         authenticate logical senders against committee slots (epochs)
         override this and check each batch constituent individually.
         """
+        # Fast path for the steady state (no recovery in progress): skip
+        # the admission gate's per-constituent call and the _consensus_for
+        # membership test — at committee scale this dispatch runs tens of
+        # millions of times per run.
+        if not self._recovering and not self._catchup_floor:
+            consensus = self._consensus.get(cmsg.index)
+            if consensus is None:
+                consensus = self._consensus_for(cmsg.index)
+            if record:
+                consensus.on_message(cmsg)
+            else:
+                consensus.on_constituent(cmsg)
+            return
         if not self._admit_consensus(cmsg, wire_sender, record=record):
             return
         self._consensus_for(cmsg.index).on_message(cmsg, record=record)

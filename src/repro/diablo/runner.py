@@ -25,12 +25,16 @@ from repro.workloads import (
     uber_request_factory,
     uber_trace,
 )
+from repro.workloads.fifa import fifa_genesis_setup
 from repro.workloads.synthetic import factory_balances
 
+#: workload -> (trace, request factory, genesis setup or None); the setup
+#: hook seeds contract state the workload assumes exists (FIFA's matches
+#: must already be on sale or every buy_ticket reverts and TVPR drops it)
 _WORKLOADS = {
-    "nasdaq": (nasdaq_trace, nasdaq_request_factory),
-    "uber": (uber_trace, uber_request_factory),
-    "fifa": (fifa_trace, fifa_request_factory),
+    "nasdaq": (nasdaq_trace, nasdaq_request_factory, None),
+    "uber": (uber_trace, uber_request_factory, None),
+    "fifa": (fifa_trace, fifa_request_factory, fifa_genesis_setup),
 }
 
 
@@ -74,7 +78,7 @@ def run_dapp_workload(
     metrics plus the live deployment.
     """
     try:
-        trace_fn, factory_fn = _WORKLOADS[workload]
+        trace_fn, factory_fn, genesis_setup = _WORKLOADS[workload]
     except KeyError:
         raise KeyError(
             f"unknown workload {workload!r}; options: {sorted(_WORKLOADS)}"
@@ -88,6 +92,7 @@ def run_dapp_workload(
         topology=topology or single_region_topology(n),
         extra_balances=factory_balances(factory),
         seed=seed,
+        genesis_setup=genesis_setup,
     )
     observatory = None
     if observatory_interval_s is not None:

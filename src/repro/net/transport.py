@@ -188,18 +188,25 @@ class NetStats:
     def record(
         self, msg: Message, *, src_region: str = "local", dst_region: str = "local"
     ) -> None:
+        size = msg.size_bytes
         self.messages += 1
-        self.bytes += msg.size_bytes
+        self.bytes += size
         self.logical_messages += msg.count
-        kind = self.by_kind.setdefault(msg.kind, [0, 0])
+        kind = self.by_kind.get(msg.kind)
+        if kind is None:
+            kind = self.by_kind[msg.kind] = [0, 0]
         kind[0] += 1
-        kind[1] += msg.size_bytes
-        sender = self.by_sender.setdefault(msg.sender, [0, 0])
+        kind[1] += size
+        sender = self.by_sender.get(msg.sender)
+        if sender is None:
+            sender = self.by_sender[msg.sender] = [0, 0]
         sender[0] += 1
-        sender[1] += msg.size_bytes
-        region = self.by_region.setdefault((src_region, dst_region), [0, 0])
+        sender[1] += size
+        region = self.by_region.get((src_region, dst_region))
+        if region is None:
+            region = self.by_region[(src_region, dst_region)] = [0, 0]
         region[0] += 1
-        region[1] += msg.size_bytes
+        region[1] += size
         m = _metrics()
         m.logical.inc(msg.count)
         msgs_child, bytes_child = _traffic_children(
@@ -275,7 +282,29 @@ class Network:
         self._next_seq: dict[tuple[int, int], int] = {}
         self._pending: dict[tuple[int, int, int], Any] = {}  # key -> timer Event
         self._rx_seen: dict[tuple[int, int], _SeqTracker] = {}
+        #: (src, dst) -> (base_latency_s, src_region, dst_region); the
+        #: topology is immutable for a deployment's lifetime, so the
+        #: per-message lookups on the delivery hot path collapse to one
+        #: dict hit
+        self._links: dict[tuple[int, int], tuple[float, str, str]] = {}
+        #: pre-drawn jitter samples for a fault-free broadcast fan-out
+        #: (one vectorized RNG call replaces n scalar draws; numpy's
+        #: Generator produces bitwise-identical streams either way)
+        self._jitter_buf: "np.ndarray | None" = None
+        self._jitter_idx = 0
         self.stats = NetStats()
+
+    def _link(self, src: int, dst: int) -> tuple[float, str, str]:
+        """Cached (base latency, src region, dst region) for a link."""
+        entry = self._links.get((src, dst))
+        if entry is None:
+            entry = (
+                self.topology.latency_s(src, dst),
+                self.topology.region_of(src),
+                self.topology.region_of(dst),
+            )
+            self._links[(src, dst)] = entry
+        return entry
 
     def register(self, node_id: int, endpoint: Endpoint) -> None:
         if node_id in self._endpoints:
@@ -323,9 +352,14 @@ class Network:
 
     def delay_for(self, src: int, dst: int, size_bytes: int) -> float:
         """Sample the delivery delay for one message."""
-        base = self.topology.latency_s(src, dst)
+        base = self._link(src, dst)[0]
         serialization = size_bytes / self.bandwidth
-        jitter = float(self.rng.exponential(self.jitter_s))
+        buf = self._jitter_buf
+        if buf is not None and self._jitter_idx < len(buf):
+            jitter = float(buf[self._jitter_idx])
+            self._jitter_idx += 1
+        else:
+            jitter = float(self.rng.exponential(self.jitter_s))
         delay = base + serialization + jitter
         if self.adversarial_delay is not None:
             # The adversary may only *stretch* delays, bounded by the
@@ -340,11 +374,8 @@ class Network:
         """Point-to-point send; delivery scheduled on the simulator."""
         if dst not in self._endpoints:
             raise NetworkError(f"unknown destination node {dst}")
-        self.stats.record(
-            msg,
-            src_region=self.topology.region_of(src),
-            dst_region=self.topology.region_of(dst),
-        )
+        _base, src_region, dst_region = self._link(src, dst)
+        self.stats.record(msg, src_region=src_region, dst_region=dst_region)
         if self.net.reliable_delivery and src != dst:
             seq = self._next_seq.get((src, dst), 0)
             self._next_seq[(src, dst)] = seq + 1
@@ -354,25 +385,55 @@ class Network:
 
     def broadcast(self, src: int, msg: Message, *, include_self: bool = True) -> None:
         """Best-effort broadcast to every registered node."""
-        for dst in self._endpoints:
-            if dst == src and not include_self:
-                continue
-            if dst == src:
-                # Local delivery is immediate-ish (loopback).
-                event = self.sim.schedule(0.0, self._deliver, dst, msg)
-                if self.sim.profiler is not None:
-                    event.profile_info = _deliver_info(msg.kind, dst)
-                region = self.topology.region_of(src)
-                self.stats.record(msg, src_region=region, dst_region=region)
-            else:
-                self.send(src, dst, msg)
+        fanout = len(self._endpoints) - (src in self._endpoints)
+        prefill = (
+            self.faults is None and fanout > 1 and self._jitter_buf is None
+        )
+        if prefill:
+            # One vectorized draw for the whole fan-out; ``delay_for``
+            # consumes the samples in send order, so the stream is
+            # bitwise-identical to n scalar draws.
+            self._jitter_buf = self.rng.exponential(self.jitter_s, size=fanout)
+            self._jitter_idx = 0
+        try:
+            for dst in self._endpoints:
+                if dst == src and not include_self:
+                    continue
+                if dst == src:
+                    # Local delivery is immediate-ish (loopback).  Loopback
+                    # cascades within one instant coalesce into one heap
+                    # entry (same bitwise timestamp, same destination).
+                    event = self.sim.schedule_bucketed(
+                        0.0, self._deliver, dst, msg, tag=("dl", dst)
+                    )
+                    if self.sim.profiler is not None:
+                        event.profile_info = _deliver_info(msg.kind, dst)
+                    region = self._link(src, src)[1]
+                    self.stats.record(msg, src_region=region, dst_region=region)
+                else:
+                    self.send(src, dst, msg)
+        finally:
+            if prefill:
+                self._jitter_buf = None
+                self._jitter_idx = 0
 
     def send_to_peers(self, src: int, msg: Message) -> int:
         """Send to overlay neighbours only (gossip building block)."""
         peers = self.topology.peers_of(src)
-        for dst in peers:
-            if dst in self._endpoints:
+        live = [dst for dst in peers if dst in self._endpoints]
+        prefill = (
+            self.faults is None and len(live) > 1 and self._jitter_buf is None
+        )
+        if prefill:
+            self._jitter_buf = self.rng.exponential(self.jitter_s, size=len(live))
+            self._jitter_idx = 0
+        try:
+            for dst in live:
                 self.send(src, dst, msg)
+        finally:
+            if prefill:
+                self._jitter_buf = None
+                self._jitter_idx = 0
         return len(peers)
 
     # -- the (possibly lossy) channel ------------------------------------------------
@@ -402,11 +463,18 @@ class Network:
                 delay += max(
                     0.0, self.faults.extra_delay_s(src, dst, self.sim.now)
                 )
+            # Deliveries landing at a bitwise-identical timestamp on the
+            # same destination share one heap entry (common when the
+            # partial-synchrony clamp flattens a fan-out's delays onto
+            # ``bound + serialization``); per-message attribution and
+            # firing order are preserved by the bucket machinery.
             if seq is None:
-                event = self.sim.schedule(delay, self._deliver, dst, msg)
+                event = self.sim.schedule_bucketed(
+                    delay, self._deliver, dst, msg, tag=("dl", dst)
+                )
             else:
-                event = self.sim.schedule(
-                    delay, self._deliver_seq, src, dst, msg, seq
+                event = self.sim.schedule_bucketed(
+                    delay, self._deliver_seq, src, dst, msg, seq, tag=("dl", dst)
                 )
             if self.sim.profiler is not None:
                 # Attribute the delivery event to its wire kind and the
@@ -433,8 +501,12 @@ class Network:
         timeout = self.net.retransmit_timeout_s * (
             self.net.retransmit_backoff ** attempt
         )
-        timer = self.sim.schedule(
-            timeout, self._retransmit, src, dst, msg, seq, attempt
+        # Retransmission timers for a fan-out all land on the same
+        # ``now + timeout`` instant and almost always cancel (the ack
+        # wins): bucketing them keeps the heap at one entry per instant
+        # and lets the cancelled majority never touch the heap at all.
+        timer = self.sim.schedule_bucketed(
+            timeout, self._retransmit, src, dst, msg, seq, attempt, tag="rtx"
         )
         self._pending[(src, dst, seq)] = timer
 
@@ -453,8 +525,7 @@ class Network:
             )
             return
         self.stats.retransmissions += 1
-        src_region = self.topology.region_of(src)
-        dst_region = self.topology.region_of(dst)
+        _base, src_region, dst_region = self._link(src, dst)
         _rel_metrics().retransmissions.labels(
             src_region=src_region, dst_region=dst_region
         ).inc()
@@ -475,9 +546,9 @@ class Network:
         tracker = self._rx_seen.setdefault((src, dst), _SeqTracker())
         if not tracker.mark(seq):
             self.stats.duplicates_dropped += 1
+            _base, src_region, dst_region = self._link(src, dst)
             _rel_metrics().duplicates_dropped.labels(
-                src_region=self.topology.region_of(src),
-                dst_region=self.topology.region_of(dst),
+                src_region=src_region, dst_region=dst_region
             ).inc()
             return
         endpoint = self._endpoints.get(dst)
@@ -489,11 +560,8 @@ class Network:
         ack = Message(
             kind=ACK_KIND, payload=seq, sender=dst, size_bytes=self.net.ack_bytes
         )
-        self.stats.record(
-            ack,
-            src_region=self.topology.region_of(dst),
-            dst_region=self.topology.region_of(src),
-        )
+        _base, ack_src_region, ack_dst_region = self._link(dst, src)
+        self.stats.record(ack, src_region=ack_src_region, dst_region=ack_dst_region)
         if self.faults is not None:
             p_drop = self.faults.drop_probability(dst, src, self.sim.now)
             if p_drop >= 1.0 or (

@@ -69,4 +69,23 @@ def fifa_request_factory(
         )
 
     build.keypairs = keypairs  # type: ignore[attr-defined]
+    build.cache_key = ("fifa", clients, seed, gas_price)  # type: ignore[attr-defined]
     return build
+
+
+def fifa_genesis_setup(state) -> None:
+    """Put every match on sale at genesis (what ``open_match`` would do).
+
+    ``buy_ticket`` reverts on an unopened match, and TVPR then excludes
+    the transaction pre-consensus — so a replay against a bare genesis
+    commits nothing.  The paper's deployment has the sale running before
+    the trace starts; deterministic genesis state is the equivalent here.
+    """
+    from repro.vm.contracts.ticketing import DEFAULT_CAPACITY
+
+    contract = native_address_for(TicketingContract.name)
+    for match_id in MATCH_IDS:
+        state.storage_set(
+            contract, f"match:{match_id}", {"capacity": DEFAULT_CAPACITY, "price": 1}
+        )
+        state.storage_set(contract, f"sold:{match_id}", 0)

@@ -63,12 +63,35 @@ class Trace:
         return out
 
     def send_times(self) -> np.ndarray:
-        """Exact send timestamps, uniformly spaced within each second."""
-        times = []
-        for second, count in enumerate(self.counts_per_second):
-            if count:
-                times.append(second + np.arange(count) / count)
-        return np.concatenate(times) if times else np.zeros(0)
+        """Exact send timestamps, uniformly spaced within each second.
+
+        Fully vectorized: one pass builds every ``second + k/count`` stamp
+        without a Python-level loop over seconds.  The arithmetic applies
+        the same IEEE operations (int64/int64 true-divide, then add) the
+        per-second construction used, so the output is bitwise-identical
+        — pre-signed schedule caches key on it.
+        """
+        counts = self.counts_per_second
+        nz = np.flatnonzero(counts)
+        if not len(nz):
+            return np.zeros(0)
+        c = counts[nz]
+        total = int(c.sum())
+        # Within-second rank of each send: global index minus the first
+        # global index of its own second.
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(c) - c, c
+        )
+        return np.repeat(nz, c) + within / np.repeat(c, c)
+
+    def fingerprint(self) -> str:
+        """Stable content hash (schedule-cache key component)."""
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(self.name.encode())
+        h.update(self.counts_per_second.tobytes())
+        return h.hexdigest()
 
     def transactions(self, factory: RequestFactory) -> Iterator[Transaction]:
         """Materialize signed transactions (message-level engine input)."""

@@ -18,6 +18,8 @@ class TestRegistry:
             "tvpr_ablation", "table1_dapp", "saturation_sweep",
             "weak_validator", "vote_batching_ablation", "chaos_soak",
             "engine_scaling", "parallel_exec_ablation",
+            "trace_replay_nasdaq", "trace_replay_uber", "trace_replay_fifa",
+            "table1_scale_200",
         ):
             assert expected in names
         # renamed in the crash-recovery PR: a slow node is a delay fault
@@ -52,3 +54,22 @@ class TestRunCheapScenario:
         assert validate_artifact(a.to_dict()) == []
         assert a.headline["srbb_throughput_tps"] > 0
         assert a.headline["throughput_ratio"] > 1.0  # SRBB beats EVM baseline
+
+
+class TestTable1Scale:
+    """Reduced-n exercise of the 200-validator scenario's runner (the
+    full n=200 run only happens when (re)generating its baseline)."""
+
+    def test_reduced_n_commits_everything(self):
+        from repro.bench import run_table1_scale
+
+        h = run_table1_scale(
+            n=8, valid_count=24, invalid_count=12, degree=4, horizon_s=8.0
+        )
+        assert h["commit_rate_valid"] == 1.0
+        assert h["chains_identical"] == 1.0
+        assert h["safety_holds"] == 1.0
+        assert h["states_agree"] == 1.0
+        assert 0.0 < h["commit_done_s"] <= 8.0
+        assert h["sent_invalid"] == 12.0
+        assert h["events_n8"] > 0

@@ -29,6 +29,24 @@ class TestRunner:
         rides = state.storage_get(native_address_for("mobility"), "next_ride", 0)
         assert rides == outcome.result.committed
 
+    def test_fifa_engine_run_commits(self):
+        # Regression: buy_ticket reverts on an unopened match and TVPR
+        # then excludes it, so without the genesis setup hook a FIFA
+        # replay committed exactly nothing.
+        outcome = run_dapp_workload("fifa", scale=0.001, clients=8)
+        assert outcome.result.sent > 0
+        assert outcome.result.commit_rate == 1.0
+        assert outcome.safety_holds and outcome.states_agree
+        from repro.vm.executor import native_address_for
+        from repro.workloads.fifa import MATCH_IDS
+
+        state = outcome.deployment.validators[0].blockchain.state
+        sold = sum(
+            state.storage_get(native_address_for("ticketing"), f"sold:{m}", 0)
+            for m in MATCH_IDS
+        )
+        assert sold > 0  # tickets actually changed hands
+
     def test_unknown_workload(self):
         with pytest.raises(KeyError, match="fifa"):
             run_dapp_workload("minecraft")

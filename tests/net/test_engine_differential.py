@@ -1,0 +1,152 @@
+"""Differential suite: fast-path engine vs reference scheduler.
+
+``Simulator(coalesce=False)`` turns every ``schedule_bucketed`` into an
+individual ``schedule`` — the reference scheduler the fast path must be
+indistinguishable from.  Whole deployments are run twice over identical
+workloads (same seeds, same pre-signed transactions, same fault
+schedules) and everything observable is compared: block hashes, state
+roots, receipts, commit times, the event count, and the network's
+headline traffic counters.  Any divergence is a coalescing bug, not
+noise — both runs are fully deterministic.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import params
+from repro.core.deployment import Deployment, fund_clients
+from repro.core.transaction import make_transfer
+from repro.faults import FaultSchedule
+from repro.net.simulator import Simulator
+from repro.net.topology import single_region_topology
+
+
+def _digest(deployment):
+    """Everything observable about a finished run, in comparable form."""
+    sim = deployment.sim
+    stats = deployment.network.stats
+    validators = deployment.correct_validators
+    return {
+        "events": sim.events_processed,
+        "now": sim.now,
+        "hashes": [tuple(v.blockchain.block_hashes()) for v in validators],
+        "heights": [v.blockchain.height for v in validators],
+        "roots": [v.blockchain.state.state_root() for v in validators],
+        "commit_times": [
+            sorted(v.blockchain.commit_times.items()) for v in validators
+        ],
+        "receipts": [
+            sorted(
+                (
+                    tx_hash,
+                    rec.height,
+                    rec.position,
+                    rec.commit_time,
+                    rec.receipt.success,
+                    rec.receipt.gas_used,
+                    rec.receipt.error,
+                )
+                for tx_hash, rec in v.receipts._records.items()
+            )
+            for v in validators
+        ],
+        "net": (
+            stats.messages,
+            stats.bytes,
+            stats.logical_messages,
+            stats.retransmissions,
+            stats.duplicates_dropped,
+            stats.dropped,
+        ),
+        "by_kind": sorted(
+            (str(kind), tuple(counts)) for kind, counts in stats.by_kind.items()
+        ),
+    }
+
+
+def _run_deployment(seed, *, coalesce, reliable, faulty, horizon_s=16.0):
+    clients, balances = fund_clients(4, seed=900 + seed % 13)
+    fault_schedule = None
+    if faulty:
+        fault_schedule = (
+            FaultSchedule(seed=seed)
+            .drop_rate(0.03, until=6.0)
+            .crash(3, at=2.0)
+            .restart(3, at=7.0)
+        )
+    deployment = Deployment(
+        protocol=params.ProtocolParams(n=4, watchdog_stall_rounds=8),
+        topology=single_region_topology(4),
+        extra_balances=balances,
+        net_params=params.NetParams(reliable_delivery=reliable),
+        fault_schedule=fault_schedule,
+        seed=seed,
+        sim=Simulator(coalesce=coalesce),
+    )
+    deployment.start()
+    for nonce in range(3):
+        for i, keypair in enumerate(clients):
+            k = nonce * len(clients) + i
+            tx = make_transfer(
+                keypair, clients[(i + 1) % len(clients)].address, 1,
+                nonce=nonce, created_at=0.2 * k,
+            )
+            deployment.submit(tx, validator_id=k % 3, at=0.2 * k)
+    deployment.run_until(horizon_s)
+    return _digest(deployment)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    reliable=st.booleans(),
+    faulty=st.booleans(),
+)
+def test_fast_path_unobservable(seed, reliable, faulty):
+    fast = _run_deployment(seed, coalesce=True, reliable=reliable, faulty=faulty)
+    reference = _run_deployment(
+        seed, coalesce=False, reliable=reliable, faulty=faulty
+    )
+    # Compare field by field for a readable failure before the full check.
+    for key in fast:
+        assert fast[key] == reference[key], (key, seed, reliable, faulty)
+    assert fast == reference
+
+
+def test_fast_path_unobservable_multi_region_slow_node():
+    # The weak_validator flavor: 10-region topology, one +400 ms node,
+    # NASDAQ-derived workload — the exact shape the bench scenarios gate.
+    from repro.diablo.benchmark import DiabloBenchmark
+    from repro.diablo.client import LoadSchedule, RoundRobinSubmitter
+    from repro.net.faults import slow_nodes
+    from repro.net.topology import global_topology
+    from repro.workloads import nasdaq_request_factory, nasdaq_trace
+    from repro.workloads.synthetic import factory_balances
+
+    digests = []
+    for coalesce in (True, False):
+        trace = nasdaq_trace().scaled(0.002, name="nasdaq")
+        factory = nasdaq_request_factory(clients=8, seed=321)
+        factory._materialized = True  # force per-run signing: no cache
+        deployment = Deployment(
+            protocol=params.ProtocolParams(n=8, tvpr=True),
+            topology=global_topology(8, degree=4, seed=7),
+            extra_balances=factory_balances(factory),
+            seed=7,
+            sim=Simulator(coalesce=coalesce),
+        )
+        deployment.network.adversarial_delay = slow_nodes([7], 0.4)
+        schedule = LoadSchedule.from_trace(trace, factory)
+        bench = DiabloBenchmark(deployment, submitter=RoundRobinSubmitter())
+        result = bench.run(schedule, horizon_s=60.0)
+        digest = _digest(deployment)
+        digest["committed"] = result.committed
+        digest["latencies"] = result.latencies_s.tobytes()
+        digests.append(digest)
+    fast, reference = digests
+    for key in fast:
+        assert fast[key] == reference[key], key
+    assert fast == reference

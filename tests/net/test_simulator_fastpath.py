@@ -1,0 +1,221 @@
+"""Fast-path machinery of the DES engine: coalesced buckets, O(1)
+pending, lazy compaction.
+
+The invariant under test everywhere: ``Simulator(coalesce=True)`` (the
+default) must be *unobservable* relative to ``coalesce=False`` (the
+reference scheduler) — same firing order, same clock, same
+``events_processed``.
+"""
+
+import random
+
+import pytest
+
+from repro.net.simulator import _COMPACT_MIN_CANCELLED, Simulator
+
+
+class TestBucketedScheduling:
+    def test_same_tag_same_time_coalesces_into_one_heap_entry(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule_bucketed(1.0, fired.append, i, tag="t")
+        assert len(sim._heap) == 1
+        assert sim.pending == 5
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+        assert sim.events_processed == 5
+
+    def test_coalesce_false_degrades_to_individual_events(self):
+        sim = Simulator(coalesce=False)
+        fired = []
+        for i in range(5):
+            sim.schedule_bucketed(1.0, fired.append, i, tag="t")
+        assert len(sim._heap) == 5
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+        assert sim.events_processed == 5
+
+    def test_different_tags_do_not_share_a_bucket(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_bucketed(1.0, fired.append, "a", tag="x")
+        sim.schedule_bucketed(1.0, fired.append, "b", tag="y")
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_plain_schedule_at_bucket_time_preserves_order(self):
+        # A foreign event at an open bucket's exact timestamp must fire
+        # between earlier and later members, exactly as individual
+        # (time, seq) events would.
+        sim = Simulator()
+        fired = []
+        sim.schedule_bucketed(1.0, fired.append, "m0", tag="t")
+        sim.schedule(1.0, fired.append, "plain")
+        sim.schedule_bucketed(1.0, fired.append, "m1", tag="t")
+        sim.run()
+        assert fired == ["m0", "plain", "m1"]
+
+    def test_interleaved_tags_at_same_time_preserve_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_bucketed(1.0, fired.append, 0, tag="a")
+        sim.schedule_bucketed(1.0, fired.append, 1, tag="b")
+        sim.schedule_bucketed(1.0, fired.append, 2, tag="a")
+        sim.schedule_bucketed(1.0, fired.append, 3, tag="b")
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+
+    def test_member_cancel_suppresses_only_that_member(self):
+        sim = Simulator()
+        fired = []
+        handles = [
+            sim.schedule_bucketed(1.0, fired.append, i, tag="t")
+            for i in range(4)
+        ]
+        handles[1].cancel()
+        handles[1].cancel()  # idempotent
+        assert sim.pending == 3
+        sim.run()
+        assert fired == [0, 2, 3]
+        assert sim.events_processed == 3
+
+    def test_fully_cancelled_bucket_counts_no_events(self):
+        sim = Simulator()
+        fired = []
+        handles = [
+            sim.schedule_bucketed(1.0, fired.append, i, tag="t")
+            for i in range(3)
+        ]
+        for h in handles:
+            h.cancel()
+        sim.schedule(2.0, fired.append, "later")
+        sim.run()
+        assert fired == ["later"]
+        assert sim.events_processed == 1
+
+    def test_run_until_discards_dead_bucket_at_head(self):
+        sim = Simulator()
+        handle = sim.schedule_bucketed(1.0, lambda: None, tag="t")
+        handle.cancel()
+        sim.run_until(5.0)
+        assert sim.now == 5.0
+        assert sim.pending == 0
+        assert not sim._heap
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_bucketed(-0.1, lambda: None)
+
+
+class TestFuzzAgainstReference:
+    def test_random_schedules_identical_to_reference(self):
+        # Random interleavings of schedule / schedule_bucketed / cancel
+        # (decisions precomputed so both engines see the same ops) must
+        # produce the identical firing sequence, clock, and event count.
+        rnd = random.Random(0xC0A1)
+        for trial in range(60):
+            ops = []
+            for i in range(rnd.randint(5, 40)):
+                ops.append((
+                    rnd.random() < 0.6,            # bucketed?
+                    rnd.choice([0.5, 1.0, 1.0, 1.5, 2.0]),  # delay
+                    rnd.choice(["a", "b"]),        # tag
+                    rnd.random() < 0.15,           # cancel afterwards?
+                ))
+            results = []
+            for coalesce in (True, False):
+                sim = Simulator(coalesce=coalesce)
+                fired = []
+                handles = []
+                for i, (bucketed, delay, tag, do_cancel) in enumerate(ops):
+                    if bucketed:
+                        h = sim.schedule_bucketed(delay, fired.append, i, tag=tag)
+                    else:
+                        h = sim.schedule(delay, fired.append, i)
+                    handles.append((h, do_cancel))
+                for h, do_cancel in handles:
+                    if do_cancel:
+                        h.cancel()
+                sim.run()
+                results.append((fired, sim.now, sim.events_processed))
+            assert results[0] == results[1], (trial, ops)
+
+    def test_nested_rescheduling_identical_to_reference(self):
+        # Callbacks that schedule more bucketed work while draining.
+        def run(coalesce):
+            sim = Simulator(coalesce=coalesce)
+            fired = []
+
+            def chain(label, depth):
+                fired.append((label, sim.now))
+                if depth:
+                    sim.schedule_bucketed(
+                        0.5, chain, f"{label}.{depth}", depth - 1, tag="c"
+                    )
+                    sim.schedule(0.5, fired.append, (f"{label}-plain", depth))
+
+            for i in range(3):
+                sim.schedule_bucketed(1.0, chain, f"r{i}", 3, tag="c")
+            sim.run()
+            return fired, sim.now, sim.events_processed
+
+        assert run(True) == run(False)
+
+
+class TestPendingAndCompaction:
+    def test_pending_is_live_counter(self):
+        sim = Simulator()
+        events = [sim.schedule(1.0, lambda: None) for _ in range(10)]
+        assert sim.pending == 10
+        events[0].cancel()
+        events[1].cancel()
+        assert sim.pending == 8
+        assert sim.cancelled_in_heap == 2
+
+    def test_compaction_triggers_at_threshold(self):
+        assert _COMPACT_MIN_CANCELLED == 64  # the arithmetic below assumes it
+        sim = Simulator()
+        events = [sim.schedule(1.0, lambda: None) for _ in range(300)]
+        for e in events[:200]:
+            e.cancel()
+        # Compaction fires once cancelled >= 64 AND >= half the heap
+        # (at 150 of 300); the trailing 50 cancels stay below the floor.
+        assert sim.compactions == 1
+        assert sim.pending == 100
+        assert sim.cancelled_in_heap == 50
+        assert len(sim._heap) == 150
+        sim.run()
+        assert sim.events_processed == 100
+
+    def test_popped_events_do_not_count_as_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        assert sim.cancelled_in_heap == 1
+        assert sim.pending == 0
+
+
+class TestProfilerAttribution:
+    def test_bucket_members_profiled_individually(self):
+        class Recorder:
+            def __init__(self):
+                self.seen = []
+
+            def record_event(self, callback, args, info):
+                self.seen.append((args, info))
+                callback(*args)
+
+        sim = Simulator()
+        sim.profiler = rec = Recorder()
+        out = []
+        m0 = sim.schedule_bucketed(1.0, out.append, "x", tag="t")
+        m0.profile_info = ("kx", "net", 0)
+        m1 = sim.schedule_bucketed(1.0, out.append, "y", tag="t")
+        m1.profile_info = ("ky", "net", 1)
+        sim.run()
+        assert out == ["x", "y"]
+        assert rec.seen == [(("x",), ("kx", "net", 0)), (("y",), ("ky", "net", 1))]

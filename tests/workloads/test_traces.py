@@ -142,3 +142,55 @@ class TestFactories:
     def test_factories_expose_keypairs(self):
         factory = nasdaq_request_factory(clients=3)
         assert len(factory.keypairs) == 3
+
+    def test_factories_expose_cache_keys(self):
+        a = nasdaq_request_factory(clients=3, seed=5)
+        b = nasdaq_request_factory(clients=3, seed=5)
+        c = nasdaq_request_factory(clients=3, seed=6)
+        assert a.cache_key == b.cache_key
+        assert a.cache_key != c.cache_key
+        assert a.cache_key != uber_request_factory(clients=3, seed=5).cache_key
+
+
+class TestSendTimesVectorized:
+    """The vectorized expansion must be bitwise-identical to the
+    per-second reference construction (schedule caches key on it)."""
+
+    @staticmethod
+    def _reference(trace: Trace) -> np.ndarray:
+        times = []
+        for second, count in enumerate(trace.counts_per_second):
+            if count:
+                times.append(second + np.arange(count) / count)
+        return np.concatenate(times) if times else np.zeros(0)
+
+    @pytest.mark.parametrize("trace_fn", [nasdaq_trace, uber_trace, fifa_trace])
+    def test_bitwise_identical_on_published_traces(self, trace_fn):
+        trace = trace_fn()
+        for t in (trace, trace.scaled(0.002), trace.scaled(0.1)):
+            got = t.send_times()
+            want = self._reference(t)
+            assert got.dtype == np.float64
+            assert got.tobytes() == want.tobytes()
+
+    @given(
+        counts=st.lists(st.integers(min_value=0, max_value=40), max_size=25)
+    )
+    def test_bitwise_identical_on_arbitrary_counts(self, counts):
+        trace = Trace(
+            name="fuzz", counts_per_second=np.asarray(counts, dtype=np.int64)
+        )
+        assert trace.send_times().tobytes() == self._reference(trace).tobytes()
+
+    def test_empty_trace(self):
+        trace = Trace(name="empty", counts_per_second=np.zeros(4, dtype=np.int64))
+        assert trace.send_times().shape == (0,)
+
+    def test_fingerprint_tracks_content(self):
+        a = constant_trace(5, 3, name="x")
+        b = constant_trace(5, 3, name="x")
+        c = constant_trace(6, 3, name="x")
+        d = constant_trace(5, 3, name="y")
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+        assert a.fingerprint() != d.fingerprint()
