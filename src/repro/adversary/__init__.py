@@ -1,5 +1,8 @@
 """Byzantine validator behaviours used in the evaluation.
 
+* :class:`CampaignValidator` — runtime-toggleable adversary driven by the
+  chaos engine's ``byzantine_*`` schedule windows; with every flag off it
+  behaves as a correct validator.
 * :class:`FloodingValidator` — §V-B's attacker: skips eager validation and
   stuffs its block proposals with invalid transactions (senders with zero
   balance), consuming peers' CPU and bandwidth for no throughput.
@@ -11,6 +14,8 @@
 """
 
 from repro.adversary.byzantine import (
+    CAMPAIGN_BEHAVIOURS,
+    CampaignValidator,
     CensoringValidator,
     CrashValidator,
     EquivocatingProposer,
@@ -19,6 +24,8 @@ from repro.adversary.byzantine import (
 )
 
 __all__ = [
+    "CAMPAIGN_BEHAVIOURS",
+    "CampaignValidator",
     "CensoringValidator",
     "CrashValidator",
     "EquivocatingProposer",

@@ -39,12 +39,21 @@ def make_invalid_transactions(
     return txs
 
 
-class FloodingValidator(ValidatorNode):
-    """Skips eager validation and floods blocks with invalid transactions.
+#: behaviours a campaign can toggle, mirroring the ``byzantine_*``
+#: schedule kinds (``byzantine_flood`` toggles ``"flood"``, etc.)
+CAMPAIGN_BEHAVIOURS = ("flood", "equivocate", "withhold", "censor")
 
-    Every proposal it makes carries ``flood_per_block`` invalid
-    transactions in addition to whatever legitimate transactions it
-    received (a rational attacker still wants its fees).
+
+class CampaignValidator(ValidatorNode):
+    """A validator whose misbehaviour is toggled at runtime.
+
+    The chaos engine's ``byzantine_*`` schedule windows flip behaviour
+    flags here through :meth:`set_misbehaviour` (see
+    :class:`~repro.faults.controller.FaultController`).  With every flag
+    off the node is byte-identical to a correct :class:`ValidatorNode`;
+    the always-on adversaries below are thin subclasses that pre-arm one
+    flag, so a campaign can sequence several behaviours on one node while
+    staying inside the ≤ f fault budget.
     """
 
     def __init__(
@@ -63,8 +72,37 @@ class FloodingValidator(ValidatorNode):
         self._flood_seed = flood_seed
         self._flood_batch = 0
         self.invalid_txs_proposed = 0
+        self.censored = 0
+        self.withheld_msgs = 0
+        self.flood_active = False
+        self.censor_active = False
+        self.withhold_active = False
+        self.equivocate_active = False
+        #: (behaviour, active, sim_time) toggle history, for tests/telemetry
+        self.misbehaviour_log: list[tuple[str, bool, float]] = []
+
+    # -- campaign control ----------------------------------------------------------
+
+    def set_misbehaviour(self, behaviour: str, active: bool, **knobs) -> None:
+        """Toggle one behaviour; intensity ``knobs`` apply to flooding
+        (``per_block``, ``total``, ``seed``)."""
+        if behaviour not in CAMPAIGN_BEHAVIOURS:
+            raise ValueError(f"unknown misbehaviour {behaviour!r}")
+        if behaviour == "flood":
+            if knobs.get("per_block") is not None:
+                self.flood_per_block = int(knobs["per_block"])
+            if "total" in knobs:
+                self.flood_total = knobs["total"]
+            if knobs.get("seed") is not None:
+                self._flood_seed = int(knobs["seed"])
+        setattr(self, f"{behaviour}_active", bool(active))
+        self.misbehaviour_log.append((behaviour, bool(active), self.sim.now))
+
+    # -- behaviours ----------------------------------------------------------------
 
     def _receive(self, tx: Transaction, *, from_peer: bool) -> bool:
+        if not self.flood_active:
+            return super()._receive(tx, from_peer=from_peer)
         # A Byzantine flooder skips eager validation entirely (saving C)
         # and pools whatever arrives.
         if self.blockchain.contains_tx(tx) or tx in self.pool:
@@ -73,6 +111,16 @@ class FloodingValidator(ValidatorNode):
         return True
 
     def _create_block(self, index: int) -> Block:
+        if self.censor_active:
+            self.pool.expire(self.sim.now)
+            dropped = self.pool.take_batch(
+                self.protocol.max_block_txs,
+                gas_limit=self.protocol.block_gas_limit,
+            )
+            self.censored += len(dropped)
+            return make_block(self.keypair, self.node_id, index, (), round=index)
+        if not self.flood_active:
+            return super()._create_block(index)
         self.pool.expire(self.sim.now)
         batch = self.pool.take_batch(
             self.protocol.max_block_txs, gas_limit=self.protocol.block_gas_limit
@@ -91,60 +139,19 @@ class FloodingValidator(ValidatorNode):
             self.keypair, self.node_id, index, batch + flood, round=index
         )
 
+    def _send_consensus_wire(self, cmsg) -> None:
+        if self.withhold_active:
+            from repro.consensus.messages import MsgKind
 
-class CensoringValidator(ValidatorNode):
-    """Accepts client transactions but never includes them in blocks.
-
-    Matching §VI: under TVPR, a transaction sent only to this validator is
-    censored until the client resubmits elsewhere.
-    """
-
-    def __init__(self, *args, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.censored = 0
-
-    def _create_block(self, index: int) -> Block:
-        self.pool.expire(self.sim.now)
-        dropped = self.pool.take_batch(
-            self.protocol.max_block_txs, gas_limit=self.protocol.block_gas_limit
-        )
-        self.censored += len(dropped)
-        return make_block(self.keypair, self.node_id, index, (), round=index)
-
-
-class CrashValidator(ValidatorNode):
-    """Participates normally until ``crash_at`` then goes silent forever."""
-
-    def __init__(self, *args, crash_at: float = 0.0, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.crash_at = crash_at
-
-    @property
-    def crashed(self) -> bool:
-        return self.sim.now >= self.crash_at
-
-    def on_message(self, msg: Message) -> None:
-        if self.crashed:
+            self.withheld_msgs += (
+                len(cmsg.value) if cmsg.kind is MsgKind.BATCH else 1
+            )
             return
-        super().on_message(msg)
+        super()._send_consensus_wire(cmsg)
 
     def _start_round(self, index: int) -> None:
-        if self.crashed:
-            return
-        super()._start_round(index)
-
-    def submit_transaction(self, tx: Transaction) -> bool:
-        if self.crashed:
-            return False
-        return super().submit_transaction(tx)
-
-
-class EquivocatingProposer(ValidatorNode):
-    """Sends one proposal to even-numbered peers and a different one to
-    odd-numbered peers.  Bracha's echo quorum ensures at most one of the
-    two can gather 2f+1 echoes, so correct nodes never deliver both."""
-
-    def _start_round(self, index: int) -> None:
+        if not self.equivocate_active:
+            return super()._start_round(index)
         if index in self._proposed:
             return
         self._proposed.add(index)
@@ -182,3 +189,65 @@ class EquivocatingProposer(ValidatorNode):
             else:
                 self.network.send(self.node_id, dst, msg)
         self.sim.schedule(self.proposer_timeout, self._round_timeout, index)
+
+
+class FloodingValidator(CampaignValidator):
+    """Skips eager validation and floods blocks with invalid transactions.
+
+    Every proposal it makes carries ``flood_per_block`` invalid
+    transactions in addition to whatever legitimate transactions it
+    received (a rational attacker still wants its fees).
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.flood_active = True
+
+
+class CensoringValidator(CampaignValidator):
+    """Accepts client transactions but never includes them in blocks.
+
+    Matching §VI: under TVPR, a transaction sent only to this validator is
+    censored until the client resubmits elsewhere.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.censor_active = True
+
+
+class CrashValidator(ValidatorNode):
+    """Participates normally until ``crash_at`` then goes silent forever."""
+
+    def __init__(self, *args, crash_at: float = 0.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.crash_at = crash_at
+
+    @property
+    def crashed(self) -> bool:
+        return self.sim.now >= self.crash_at
+
+    def on_message(self, msg: Message) -> None:
+        if self.crashed:
+            return
+        super().on_message(msg)
+
+    def _start_round(self, index: int) -> None:
+        if self.crashed:
+            return
+        super()._start_round(index)
+
+    def submit_transaction(self, tx: Transaction) -> bool:
+        if self.crashed:
+            return False
+        return super().submit_transaction(tx)
+
+
+class EquivocatingProposer(CampaignValidator):
+    """Sends one proposal to even-numbered peers and a different one to
+    odd-numbered peers.  Bracha's echo quorum ensures at most one of the
+    two can gather 2f+1 echoes, so correct nodes never deliver both."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.equivocate_active = True

@@ -117,6 +117,14 @@ class Table1Row:
     byzantine_validators: int
     throughput_tps: float
     valid_dropped: int
+    #: invalid transactions that made it into *decided* superblocks (then
+    #: were lazily discarded at execution) — the deterrence signal: RPM's
+    #: exclusion cuts this off, while ``invalid_sent`` keeps counting
+    #: proposals the committee rejects
+    invalid_committed: int = 0
+    #: the flooder's RPM deposit at the end of the run (0 once slashed)
+    attacker_deposit: int = 0
+    attacker_excluded: bool = False
 
     def as_report_mapping(self) -> dict:
         return {
@@ -140,6 +148,7 @@ def table1(
     flood_per_block: int = 2_500,
     horizon_s: float = 30.0,
     seed: int = 1,
+    execution_rate: float = 5_000.0,
 ) -> tuple[Table1Row, Table1Row]:
     """Run the Table I experiment (paper scale by default).
 
@@ -160,6 +169,7 @@ def table1(
             rpm=rpm_enabled,
             horizon_s=horizon_s,
             seed=seed,
+            execution_rate=execution_rate,
         )
         results.append(row)
     return results[0], results[1]
@@ -174,6 +184,7 @@ def flooding_deployment(
     rpm: bool,
     seed: int,
     vote_batching: bool = True,
+    execution_rate: float = 5_000.0,
 ):
     """Build the §V-B flooding deployment plus its valid-load schedule.
 
@@ -206,7 +217,7 @@ def flooding_deployment(
         # c5.2xlarge-class VM throughput: at 15 000 TPS send the system is
         # execution-saturated (paper: ~4 000 TPS ceiling), so the flooded
         # invalid transactions steal visible commit throughput
-        execution_rate=5_000.0,
+        execution_rate=execution_rate,
     )
     # Pre-signed valid transactions, open-loop at the configured rate,
     # spread over the three correct validators (the flooder generates its
@@ -228,6 +239,7 @@ def _run_flooding(
     rpm: bool,
     horizon_s: float,
     seed: int,
+    execution_rate: float = 5_000.0,
 ) -> Table1Row:
     from repro.diablo.benchmark import DiabloBenchmark
     from repro.diablo.client import RoundRobinSubmitter
@@ -239,6 +251,7 @@ def _run_flooding(
         flood_per_block=flood_per_block,
         rpm=rpm,
         seed=seed,
+        execution_rate=execution_rate,
     )
     bench = DiabloBenchmark(
         deployment, submitter=RoundRobinSubmitter(targets=(0, 1, 2))
@@ -246,6 +259,8 @@ def _run_flooding(
     result = bench.run(schedule, horizon_s=horizon_s)
     flooder = deployment.validators[3]
     invalid_sent = getattr(flooder, "invalid_txs_proposed", 0)
+    observer = deployment.validators[0]
+    attacker_address = deployment.keypairs[3].address
     return Table1Row(
         config="SRBB w/ RPM" if rpm else "SRBB w/o RPM",
         valid_sent=valid_count,
@@ -253,6 +268,11 @@ def _run_flooding(
         byzantine_validators=1,
         throughput_tps=result.throughput_tps,
         valid_dropped=result.dropped,
+        # every lazily-discarded tx in a decided superblock is one of the
+        # flooder's invalid transactions (valid load never fails execution)
+        invalid_committed=observer.stats.txs_discarded,
+        attacker_deposit=observer.rpm_deposit_of(attacker_address),
+        attacker_excluded=attacker_address in observer.excluded_validators,
     )
 
 

@@ -39,6 +39,8 @@ from repro.bench.scenarios import (
     Scenario,
     cheapest_scenarios,
     get_scenario,
+    run_byzantine_campaign,
+    run_byzantine_chaos,
     run_chaos_soak,
     run_engine_scaling,
     run_table1_scale,
@@ -64,6 +66,8 @@ __all__ = [
     "get_scenario",
     "is_wall_clock_key",
     "render_comparison",
+    "run_byzantine_campaign",
+    "run_byzantine_chaos",
     "run_chaos_soak",
     "run_engine_scaling",
     "run_scenario",

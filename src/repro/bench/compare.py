@@ -95,6 +95,23 @@ DEFAULT_THRESHOLDS: "tuple[Threshold, ...]" = (
     Threshold("headline:rpm_nonce_survived", "higher", 0.0),
     Threshold("headline:recovery_time_s", "lower", 25.0, abs_slack=1.0),
     Threshold("headline:retransmissions_total", "lower", 10.0, abs_slack=20.0),
+    # -- byzantine_campaign: deterrence must keep biting.  Honest-chain
+    # agreement is binary; the committed-invalid collapse and the
+    # attacker's economics are direction-gated (the slash must stay
+    # total, exclusion prompt, honest redistribution positive).  The
+    # attacker payoff is deeply negative, where percentage math
+    # misbehaves — gate it with pure absolute slack.
+    Threshold("headline:honest_chains_identical", "higher", 0.0),
+    Threshold("headline:honest_state_roots_match", "higher", 0.0),
+    Threshold("headline:invalid_committed_drop", "higher", 5.0, abs_slack=0.05),
+    Threshold("headline:invalid_committed_with_rpm", "lower", 10.0, abs_slack=50.0),
+    Threshold("headline:attacker_slashed", "higher", 0.0),
+    Threshold("headline:attacker_excluded*", "higher", 0.0),
+    Threshold("headline:attacker_final_deposit", "lower", 0.0, abs_slack=0.0),
+    Threshold("headline:attacker_deposit_with_rpm", "lower", 0.0, abs_slack=0.0),
+    Threshold("headline:attacker_net_payoff", "lower", 0.0, abs_slack=100_000.0),
+    Threshold("headline:time_to_exclusion_s", "lower", 25.0, abs_slack=1.0),
+    Threshold("headline:honest_yield", "higher", 10.0, abs_slack=0.01),
     Threshold("headline:message_reduction", "higher", 5.0),
     Threshold("headline:net_bytes_reduction", "higher", 5.0),
     Threshold("headline:votes_per_batch_avg", "higher", 10.0),

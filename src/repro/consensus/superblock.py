@@ -147,6 +147,16 @@ class SuperBlockConsensus:
             if not instance.has_input:
                 instance.propose(0)
 
+    def vote_zero(self, instance_id: int) -> None:
+        """Input 0 for one slot right away, without waiting for the round
+        timeout — used for RPM-excluded proposers whose traffic correct
+        nodes no longer accept (``ProtocolParams.rpm_exclude_comms``)."""
+        if self.passive:
+            return
+        instance = self.instances.get(instance_id)
+        if instance is not None and not instance.has_input:
+            instance.propose(0)
+
     def on_message(self, msg: ConsensusMessage, *, record: bool = True) -> None:
         """Feed one consensus message (or a whole vote batch) to this index.
 

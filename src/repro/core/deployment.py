@@ -132,8 +132,19 @@ class Deployment:
         self.registry.register(TicketingContract())
         self.registry.register(RPMContract(n=n, f=self.protocol.f))
 
-        byzantine = byzantine or {}
+        byzantine = dict(byzantine or {})
         byzantine_kwargs = byzantine_kwargs or {}
+        # Nodes named by byzantine_* schedule windows become campaign
+        # validators automatically (correct until the controller toggles
+        # a behaviour on) unless an explicit class was given for them.
+        campaign_ids: frozenset[int] = frozenset()
+        if fault_schedule is not None:
+            campaign_ids = fault_schedule.byzantine_nodes()
+        if campaign_ids - set(byzantine):
+            from repro.adversary.byzantine import CampaignValidator
+
+            for i in campaign_ids - set(byzantine):
+                byzantine[i] = CampaignValidator
         self.validators: list[ValidatorNode] = []
         for i in range(n):
             cls = byzantine.get(i, ValidatorNode)

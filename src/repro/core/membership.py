@@ -110,6 +110,17 @@ class MembershipRegistry:
         self.excluded.add(address)
         return candidate.deposit if candidate else 0
 
+    def apply_rpm_events(self, events) -> list[str]:
+        """Consume the RPM contract's ``events`` tuple (ByzantineEvent
+        records, Alg. 2 line 42) and slash every newly named address, so
+        committee draws for future epochs skip excluded validators."""
+        slashed = []
+        for event in events:
+            if event.address not in self.excluded:
+                self.slash(event.address)
+                slashed.append(event.address)
+        return slashed
+
     def _get(self, address: str) -> Candidate:
         try:
             return self.candidates[address]

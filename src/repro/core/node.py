@@ -218,6 +218,14 @@ class ValidatorNode:
         self._rpm_nonce: int | None = None
         #: addresses excluded after RPM slashing (Alg. 2 line 42 listeners)
         self.excluded_validators: set[str] = set()
+        #: node ids whose gossip/consensus traffic we drop once their
+        #: address is RPM-excluded (populated only under
+        #: ``protocol.rpm_exclude_comms``)
+        self._excluded_node_ids: set[int] = set()
+        self._address_to_node = {
+            address: i for i, address in enumerate(validator_addresses)
+        }
+        self.excluded_msgs_dropped = 0
 
         # -- crash–recovery state ------------------------------------------------
         #: durable record of decided superblocks + RPM nonce high-water mark
@@ -244,7 +252,13 @@ class ValidatorNode:
                 sim=sim,
                 stall_after_s=protocol.watchdog_stall_rounds * round_interval,
                 on_stall=self._send_catchup_request,
+                classify=self._stall_classification,
             )
+        #: consensus-traffic markers the watchdog's classifier reads
+        #: (tracked only while a watchdog exists — zero hot-path cost
+        #: in default deployments)
+        self._last_consensus_rx_s = 0.0
+        self._max_consensus_index_seen = 0
 
         self.gossip = GossipLayer(
             node_id, network, self._deliver_gossiped_tx
@@ -458,6 +472,12 @@ class ValidatorNode:
         self.stats.blocks_proposed += 1
         consensus = self._consensus_for(index)
         consensus.propose(block)
+        if self._excluded_node_ids:
+            # Excluded seats' proposals are dropped at the wire, so their
+            # slots would otherwise only resolve via the round timeout —
+            # input 0 right away and keep the round at normal cadence.
+            for seat in self._excluded_node_ids:
+                consensus.vote_zero(seat)
         self._schedule(
             self.proposer_timeout, self._round_timeout, index
         )
@@ -549,7 +569,22 @@ class ValidatorNode:
         if self.crashed:
             return  # dead hosts hear nothing (the transport drops too)
         if msg.kind == CONSENSUS_KIND:
+            if self._excluded_node_ids and msg.sender in self._excluded_node_ids:
+                # rpm_exclude_comms: the RPM contract excluded this
+                # validator — correct nodes stop listening to it entirely
+                self.excluded_msgs_dropped += 1
+                return
             cmsg: ConsensusMessage = msg.payload
+            if self.watchdog is not None:
+                # stall-classification markers: consensus traffic is
+                # flowing, and the highest chain index peers talk about
+                # tells "behind" (someone is ahead) from "withheld"
+                self._last_consensus_rx_s = self.sim.now
+                probe = (
+                    cmsg.value.messages[-1] if cmsg.kind is MsgKind.BATCH else cmsg
+                )
+                if probe.index > self._max_consensus_index_seen:
+                    self._max_consensus_index_seen = probe.index
             # NO staleness filter, deliberately: a node that already
             # committed index k must keep serving k's traffic — RBC
             # totality needs the ECHO/READY exchange to finish (late
@@ -1008,6 +1043,38 @@ class ValidatorNode:
             native_address_for(RPMContract.name), "excluded", ()
         )
         self.excluded_validators = set(excluded)
+        if self.protocol.rpm_exclude_comms and excluded:
+            # Drop the excluded address from gossip/consensus entirely:
+            # map addresses back to committee seats and stop listening.
+            ids = {
+                self._address_to_node[address]
+                for address in excluded
+                if address in self._address_to_node
+            }
+            self._excluded_node_ids = ids
+            self.gossip.blocked = ids
+            # Rounds already in flight would stall on the excluded seats'
+            # never-arriving proposals; close those slots immediately.
+            for consensus in self._consensus.values():
+                if not consensus.finished:
+                    for seat in ids:
+                        consensus.vote_zero(seat)
+
+    def _stall_classification(self) -> str:
+        """Tell a withholding wedge from genuinely being behind.
+
+        ``"withheld"``: consensus traffic arrived within the stall window
+        and nobody is talking about a chain index past our commit
+        frontier — peers are stuck at the same height (a declared
+        Byzantine withholder), so a catch-up request cannot help.
+        ``"behind"``: silence, or a peer is ahead; re-nudge catch-up.
+        """
+        recent = (
+            self.sim.now - self._last_consensus_rx_s
+        ) <= self.watchdog.stall_after_s
+        if recent and self._max_consensus_index_seen <= self._next_commit_index:
+            return "withheld"
+        return "behind"
 
     # -- convenience -------------------------------------------------------------------------
 

@@ -133,3 +133,103 @@ def theorem1_holds(
         skipped_validations=tx_count, reported=True,
     )
     return outcome.payoff < 0 and outcome.deposit_after == 0 if deposit > 0 else True
+
+
+# -- deposit dynamics over live runs ---------------------------------------------------
+#
+# The algebra above is the single-round game; campaigns need the ledger
+# view — per-epoch deposit trajectories of every committee seat while the
+# RPM contract pays rewards and slashes, in the style of the
+# ethereum-economic-model reward/penalty policies: sample state on a
+# cadence, then summarize attacker payoff, honest yield and
+# time-to-exclusion as headline stats.
+
+
+@dataclass(frozen=True)
+class DepositSample:
+    """One ledger row: every validator's deposit at a sampling instant."""
+
+    t: float
+    height: int
+    deposits: "tuple[tuple[str, int], ...]"  # (address, deposit), sorted
+    excluded: "tuple[str, ...]"
+    slash_events: int
+
+    def deposit_of(self, address: str) -> int:
+        for addr, deposit in self.deposits:
+            if addr == address:
+                return deposit
+        return 0
+
+
+class DepositLedger:
+    """Samples the RPM contract's deposit book off one observer node.
+
+    Drive :meth:`sample` on a deterministic cadence during a run (the
+    ``byzantine_campaign`` scenario uses a 0.5 s grid), then ask
+    :meth:`stats` for the validator-economics headline: attacker net
+    payoff (final − initial deposit), honest-validator yield, and
+    time-to-exclusion of each attacker address.
+    """
+
+    def __init__(self, addresses: "tuple[str, ...]"):
+        self.addresses = tuple(addresses)
+        self.samples: list[DepositSample] = []
+
+    def sample(self, node) -> DepositSample:
+        """Read deposits/exclusions from ``node``'s executed state."""
+        from repro.core.rpm import RPMContract
+        from repro.vm.executor import native_address_for
+
+        rpm_addr = native_address_for(RPMContract.name)
+        state = node.blockchain.state
+        row = DepositSample(
+            t=node.sim.now,
+            height=node.blockchain.height,
+            deposits=tuple(
+                (address, int(state.storage_get(rpm_addr, f"deposit:{address}", 0)))
+                for address in self.addresses
+            ),
+            excluded=tuple(state.storage_get(rpm_addr, "excluded", ())),
+            slash_events=len(state.storage_get(rpm_addr, "events", ())),
+        )
+        self.samples.append(row)
+        return row
+
+    def time_to_exclusion(self, address: str) -> "float | None":
+        """First sampling instant at which ``address`` was excluded."""
+        for row in self.samples:
+            if address in row.excluded:
+                return row.t
+        return None
+
+    def stats(self, *, attacker: "str | None" = None) -> dict:
+        """Headline validator-economics stats over the sampled window."""
+        if not self.samples:
+            raise ValueError("no samples recorded")
+        first, last = self.samples[0], self.samples[-1]
+        honest = [a for a in self.addresses if a != attacker]
+        honest_yields = [
+            (last.deposit_of(a) - first.deposit_of(a)) / first.deposit_of(a)
+            for a in honest
+            if first.deposit_of(a) > 0
+        ]
+        out = {
+            "honest_yield": (
+                sum(honest_yields) / len(honest_yields) if honest_yields else 0.0
+            ),
+            "slash_events": last.slash_events,
+            "excluded_count": len(last.excluded),
+        }
+        if attacker is not None:
+            tte = self.time_to_exclusion(attacker)
+            out.update(
+                attacker_initial_deposit=first.deposit_of(attacker),
+                attacker_final_deposit=last.deposit_of(attacker),
+                attacker_net_payoff=(
+                    last.deposit_of(attacker) - first.deposit_of(attacker)
+                ),
+                attacker_excluded=1.0 if attacker in last.excluded else 0.0,
+                time_to_exclusion_s=tte if tte is not None else float("inf"),
+            )
+        return out

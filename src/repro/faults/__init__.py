@@ -1,9 +1,12 @@
 """``repro.faults`` — the deterministic chaos engine (crash–recovery PR).
 
 * :class:`FaultSchedule` / :class:`FaultEvent` — declarative, seeded
-  fault timelines (crash, restart, drop, duplicate, reorder, partition).
+  fault timelines (crash, restart, drop, duplicate, reorder, partition,
+  plus the ``byzantine_*`` misbehaviour windows in
+  :data:`BYZANTINE_KINDS`).
 * :class:`FaultController` — applies a schedule to a live deployment:
-  clock-driven crash/restart plus the transport's link-fault model.
+  clock-driven crash/restart and Byzantine-campaign toggles plus the
+  transport's link-fault model.
 * :class:`LivenessWatchdog` — per-node stall detector separating "slow"
   from "wedged" in chaos runs.
 
@@ -13,10 +16,16 @@ which protocol guarantee is documented in ``docs/FAULTS.md`` and in the
 """
 
 from repro.faults.controller import FaultController
-from repro.faults.schedule import EVENT_KINDS, FaultEvent, FaultSchedule
+from repro.faults.schedule import (
+    BYZANTINE_KINDS,
+    EVENT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+)
 from repro.faults.watchdog import LivenessWatchdog
 
 __all__ = [
+    "BYZANTINE_KINDS",
     "EVENT_KINDS",
     "FaultController",
     "FaultEvent",

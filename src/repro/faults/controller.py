@@ -38,6 +38,10 @@ _metrics = telemetry.bind(
         crashed=reg.gauge(
             "srbb_faults_nodes_down", "nodes currently crashed by the chaos engine"
         ),
+        byzantine=reg.gauge(
+            "srbb_faults_byzantine_active",
+            "schedule-driven Byzantine misbehaviour windows currently open",
+        ),
     )
 )
 
@@ -52,6 +56,9 @@ class FaultController:
         self.network = deployment.network
         self._rng = np.random.default_rng(schedule.seed * 2_654_435_761 % 2**32)
         self._windows = schedule.window_events()
+        self._byzantine = schedule.byzantine_events()
+        #: node id -> behaviours currently toggled on by the campaign
+        self.byzantine_active: "dict[int, set[str]]" = {}
         #: applied (kind, node, at) log — scenario assertions read this
         self.applied: "list[tuple[str, int | None, float]]" = []
         self._installed = False
@@ -78,6 +85,22 @@ class FaultController:
             self.sim.schedule_at(event.at, self._note_window, event, "open")
             if event.until != float("inf"):
                 self.sim.schedule_at(event.until, self._note_window, event, "close")
+        # Byzantine campaign windows toggle misbehaviour on the target
+        # node at their edges; the target must speak set_misbehaviour
+        # (Deployment auto-constructs a CampaignValidator for scheduled
+        # nodes, so this only trips on explicit class overrides).
+        for event in self._byzantine:
+            target = self.deployment.validators[event.node]
+            if not hasattr(target, "set_misbehaviour"):
+                raise RuntimeError(
+                    f"node {event.node} is a {type(target).__name__}; "
+                    f"{event.kind} windows need a CampaignValidator"
+                )
+            self.sim.schedule_at(event.at, self._toggle_byzantine, event, True)
+            if event.until != float("inf"):
+                self.sim.schedule_at(
+                    event.until, self._toggle_byzantine, event, False
+                )
 
     # -- clock events --------------------------------------------------------------
 
@@ -94,6 +117,38 @@ class FaultController:
         elif event.kind == "restart":
             m.crashed.dec()
             self.deployment.restart(event.node)
+
+    def _toggle_byzantine(self, event: FaultEvent, active: bool) -> None:
+        behaviour = event.kind.removeprefix("byzantine_")
+        node = self.deployment.validators[event.node]
+        node.set_misbehaviour(behaviour, active, **dict(event.knobs))
+        kinds = self.byzantine_active.setdefault(event.node, set())
+        if active:
+            kinds.add(behaviour)
+        else:
+            kinds.discard(behaviour)
+            if not kinds:
+                del self.byzantine_active[event.node]
+        edge = "open" if active else "close"
+        self.applied.append((f"{event.kind}-{edge}", event.node, self.sim.now))
+        m = _metrics()
+        m.injected.labels(kind=f"{event.kind}-{edge}").inc()
+        m.byzantine.set(self.byzantine_windows_open)
+        telemetry.event(
+            "fault.inject", kind=f"{event.kind}-{edge}", node=event.node,
+            sim_now=self.sim.now,
+        )
+        # Let correct nodes' watchdogs know a declared misbehaviour window
+        # is open, so a stall during it is classified before re-nudging.
+        for validator in self.deployment.validators:
+            watchdog = getattr(validator, "watchdog", None)
+            if watchdog is not None:
+                watchdog.byzantine_windows += 1 if active else -1
+
+    @property
+    def byzantine_windows_open(self) -> int:
+        """Currently-open misbehaviour windows, summed across nodes."""
+        return sum(len(kinds) for kinds in self.byzantine_active.values())
 
     def _note_window(self, event: FaultEvent, edge: str) -> None:
         self.applied.append((f"{event.kind}-{edge}", event.node, self.sim.now))

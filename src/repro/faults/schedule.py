@@ -26,11 +26,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
-__all__ = ["FaultEvent", "FaultSchedule", "EVENT_KINDS"]
+__all__ = ["FaultEvent", "FaultSchedule", "EVENT_KINDS", "BYZANTINE_KINDS"]
+
+#: schedule-driven misbehaviour windows: the controller toggles the
+#: behaviour on the target node at ``at`` and off again at ``until``
+BYZANTINE_KINDS = (
+    "byzantine_flood",
+    "byzantine_equivocate",
+    "byzantine_withhold",
+    "byzantine_censor",
+)
 
 EVENT_KINDS = (
     "crash", "restart", "drop", "duplicate", "reorder", "partition",
-)
+) + BYZANTINE_KINDS
 
 _INF = float("inf")
 
@@ -52,6 +61,10 @@ class FaultEvent:
     p: float = 0.0
     spread: float = 0.0
     groups: "tuple[frozenset[int], ...]" = ()
+    #: intensity knobs for Byzantine windows, as a sorted (key, value)
+    #: tuple so the event stays hashable; the controller forwards them to
+    #: ``CampaignValidator.set_misbehaviour``
+    knobs: "tuple[tuple[str, object], ...]" = ()
 
     def __post_init__(self) -> None:
         if self.kind not in EVENT_KINDS:
@@ -65,6 +78,8 @@ class FaultEvent:
         if not 0.0 <= self.p <= 1.0:
             raise ValueError(f"fault probability must be in [0, 1], got {self.p}")
         if self.kind in ("crash", "restart") and self.node is None:
+            raise ValueError(f"{self.kind} events require a node id")
+        if self.kind in BYZANTINE_KINDS and self.node is None:
             raise ValueError(f"{self.kind} events require a node id")
 
     def active(self, now: float) -> bool:
@@ -167,6 +182,50 @@ class FaultSchedule:
             kind="partition", at=at, until=heal_at, p=1.0, groups=sets,
         ))
 
+    def byzantine_flood(
+        self,
+        node: int,
+        *,
+        at: float,
+        until: float = _INF,
+        per_block: int = 100,
+        total: "int | None" = None,
+        seed: "int | None" = None,
+    ) -> "FaultSchedule":
+        """``node`` floods blocks with invalid txs on ``at <= now < until``.
+
+        ``per_block``/``total``/``seed`` mirror the
+        :class:`~repro.adversary.byzantine.FloodingValidator` knobs.
+        """
+        knobs = (("per_block", int(per_block)), ("seed", seed), ("total", total))
+        return self._add(FaultEvent(
+            kind="byzantine_flood", at=at, until=until, node=node, knobs=knobs,
+        ))
+
+    def byzantine_equivocate(
+        self, node: int, *, at: float, until: float = _INF
+    ) -> "FaultSchedule":
+        """``node`` sends conflicting proposals to different peers."""
+        return self._add(FaultEvent(
+            kind="byzantine_equivocate", at=at, until=until, node=node,
+        ))
+
+    def byzantine_withhold(
+        self, node: int, *, at: float, until: float = _INF
+    ) -> "FaultSchedule":
+        """``node`` withholds all its consensus votes (silent participant)."""
+        return self._add(FaultEvent(
+            kind="byzantine_withhold", at=at, until=until, node=node,
+        ))
+
+    def byzantine_censor(
+        self, node: int, *, at: float, until: float = _INF
+    ) -> "FaultSchedule":
+        """``node`` proposes empty blocks, discarding its pool."""
+        return self._add(FaultEvent(
+            kind="byzantine_censor", at=at, until=until, node=node,
+        ))
+
     # -- queries -------------------------------------------------------------------
 
     def point_events(self) -> "tuple[FaultEvent, ...]":
@@ -175,7 +234,20 @@ class FaultSchedule:
 
     def window_events(self) -> "tuple[FaultEvent, ...]":
         """Link-fault windows (drop/duplicate/reorder/partition)."""
-        return tuple(e for e in self.events if e.kind not in ("crash", "restart"))
+        return tuple(
+            e for e in self.events
+            if e.kind not in ("crash", "restart") and e.kind not in BYZANTINE_KINDS
+        )
+
+    def byzantine_events(self) -> "tuple[FaultEvent, ...]":
+        """Misbehaviour windows the controller toggles on the clock."""
+        return tuple(e for e in self.events if e.kind in BYZANTINE_KINDS)
+
+    def byzantine_nodes(self) -> "frozenset[int]":
+        return frozenset(
+            e.node for e in self.events
+            if e.kind in BYZANTINE_KINDS and e.node is not None
+        )
 
     def crashed_nodes(self) -> "frozenset[int]":
         return frozenset(
@@ -194,12 +266,22 @@ class FaultSchedule:
 
         Every restart must follow a crash of the same node; with ``n``
         given, node ids must be in range; with ``f`` given, the number of
-        *simultaneously* crashed nodes must never exceed ``f`` (DBFT
-        tolerates at most f unavailable members per round).
+        nodes *simultaneously* faulty — crashed or inside a Byzantine
+        misbehaviour window, counting each node once however many ways it
+        misbehaves — must never exceed ``f`` (DBFT tolerates at most f
+        faulty members per round).
         """
         downtime: dict[int, float] = {}
-        simultaneous: list[tuple[float, int]] = []  # (time, +1/-1)
+        # (start, end, node) spans during which a node is faulty
+        faulty_spans: list[tuple[float, float, int]] = []
         for event in self.events:
+            if event.kind in BYZANTINE_KINDS:
+                if n is not None and not 0 <= event.node < n:
+                    raise ValueError(
+                        f"fault names node {event.node}, committee has {n}"
+                    )
+                faulty_spans.append((event.at, event.until, event.node))
+                continue
             if event.kind not in ("crash", "restart"):
                 continue
             node = event.node
@@ -209,21 +291,44 @@ class FaultSchedule:
                 if node in downtime:
                     raise ValueError(f"node {node} crashed twice without restart")
                 downtime[node] = event.at
-                simultaneous.append((event.at, +1))
             else:
                 if node not in downtime:
                     raise ValueError(f"restart of node {node} without a crash")
-                if event.at <= downtime.pop(node):
+                if event.at <= downtime[node]:
                     raise ValueError(
                         f"restart of node {node} does not follow its crash"
                     )
-                simultaneous.append((event.at, -1))
+                faulty_spans.append((downtime.pop(node), event.at, node))
+        for node, at in downtime.items():  # crashes never restarted
+            faulty_spans.append((at, _INF, node))
         if f is not None:
-            down = 0
-            # restarts (-1) sort before crashes (+1) at equal times
-            for _, delta in sorted(simultaneous):
-                down += delta
-                if down > f:
+            # Merge each node's spans so one node misbehaving several ways
+            # at once still only spends one unit of the budget.
+            per_node: dict[int, list[tuple[float, float]]] = {}
+            for start, end, node in faulty_spans:
+                per_node.setdefault(node, []).append((start, end))
+            edges: list[tuple[float, int]] = []  # (time, +1/-1)
+            for spans in per_node.values():
+                spans.sort()
+                cur_start, cur_end = spans[0]
+                merged = []
+                for start, end in spans[1:]:
+                    if start <= cur_end:
+                        cur_end = max(cur_end, end)
+                    else:
+                        merged.append((cur_start, cur_end))
+                        cur_start, cur_end = start, end
+                merged.append((cur_start, cur_end))
+                for start, end in merged:
+                    edges.append((start, +1))
+                    if end != _INF:
+                        edges.append((end, -1))
+            faulty = 0
+            # recoveries (-1) sort before onsets (+1) at equal times
+            for _, delta in sorted(edges):
+                faulty += delta
+                if faulty > f:
                     raise ValueError(
-                        f"schedule crashes more than f={f} nodes at once"
+                        f"schedule crashes more than f={f} nodes at once "
+                        "(crashed + Byzantine combined)"
                     )

@@ -53,6 +53,7 @@ class LivenessWatchdog:
         stall_after_s: float,
         check_interval_s: "float | None" = None,
         on_stall: "Callable[[], None] | None" = None,
+        classify: "Callable[[], str] | None" = None,
     ):
         if stall_after_s <= 0:
             raise ValueError(f"stall_after_s must be > 0, got {stall_after_s}")
@@ -61,6 +62,17 @@ class LivenessWatchdog:
         self.stall_after_s = stall_after_s
         self.check_interval_s = check_interval_s or stall_after_s / 2.0
         self.on_stall = on_stall
+        #: optional stall classifier, consulted only while a declared
+        #: Byzantine window is open (``byzantine_windows > 0``): returns
+        #: ``"withheld"`` when consensus traffic is flowing and no peer is
+        #: ahead — a catch-up request cannot help there, so the watchdog
+        #: logs the wedge instead of re-nudging — or ``"behind"``
+        self.classify = classify
+        #: open schedule-driven misbehaviour windows, maintained by the
+        #: FaultController so the watchdog knows an adversary is declared
+        self.byzantine_windows = 0
+        #: checks suppressed because the stall looked like vote withholding
+        self.withheld_checks = 0
         self.last_commit_at = 0.0
         self.stalled = False
         self.stall_count = 0
@@ -120,9 +132,26 @@ class LivenessWatchdog:
                 "watchdog.stall",
                 node=self.node_id, idle_s=round(idle, 4), sim_now=self.sim.now,
             )
-            if self.on_stall is not None:
-                self.on_stall()
-        elif self.stalled and self.on_stall is not None:
+            self._nudge()
+        elif self.stalled:
             # Still wedged on a later check: keep nudging recovery.
-            self.on_stall()
+            self._nudge()
         self.sim.schedule(self.check_interval_s, self._check)
+
+    def _nudge(self) -> None:
+        if self.on_stall is None:
+            return
+        if (
+            self.byzantine_windows > 0
+            and self.classify is not None
+            and self.classify() == "withheld"
+        ):
+            # Wedged by a declared withholding adversary, not by being
+            # behind: a catch-up request would only spam peers that have
+            # nothing newer to offer.
+            self.withheld_checks += 1
+            telemetry.event(
+                "watchdog.withheld", node=self.node_id, sim_now=self.sim.now,
+            )
+            return
+        self.on_stall()

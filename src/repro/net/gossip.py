@@ -46,6 +46,7 @@ class GossipStats:
     forwarded: int = 0
     received: int = 0
     duplicates_suppressed: int = 0
+    dropped_excluded: int = 0
 
 
 class GossipLayer:
@@ -71,6 +72,10 @@ class GossipLayer:
         self.deliver = deliver
         self.max_hops = max_hops
         self._seen: set[object] = set()
+        #: senders whose envelopes are refused outright — the node sets
+        #: this to the RPM-excluded committee seats under
+        #: ``ProtocolParams.rpm_exclude_comms``
+        self.blocked: set[int] = set()
         self.stats = GossipStats()
 
     def publish(self, item_id: object, payload: object, size_bytes: int) -> None:
@@ -87,6 +92,9 @@ class GossipLayer:
 
         On a fresh item: deliver locally, then forward to peers.
         """
+        if msg.sender in self.blocked:
+            self.stats.dropped_excluded += 1
+            return False
         item_id, payload, size_bytes, hops = msg.payload
         self.stats.received += 1
         m = _metrics()

@@ -79,6 +79,12 @@ class ProtocolParams:
     tvpr: bool = True
     #: RPM on/off: when True the reward-penalty contract is active.
     rpm: bool = True
+    #: Honour RPM exclusions at the communication layer: once the RPM
+    #: contract emits a Byzantine-validator event (Alg. 2 line 42),
+    #: correct nodes also drop the excluded seat's gossip and consensus
+    #: traffic instead of merely rejecting its proposals.  Off by default
+    #: so seeded baselines are untouched.
+    rpm_exclude_comms: bool = False
     #: Vote batching on/off: when True each validator coalesces the
     #: BVAL/AUX/COORD (and RBC ECHO/READY) traffic it emits within one
     #: tick into a single BATCH wire message per broadcast; off keeps the

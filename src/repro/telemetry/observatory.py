@@ -61,6 +61,10 @@ _metrics = bind(
             "srbb_obs_net_inflight",
             "un-acked reliable sends in flight at last sample",
         ),
+        byzantine_active=reg.gauge(
+            "srbb_faults_byzantine_active",
+            "schedule-driven Byzantine misbehaviour windows currently open",
+        ),
     )
 )
 
@@ -136,14 +140,23 @@ class CongestionObservatory:
 
         network = deployment.network
         stats = network.stats
+        fault_controller = getattr(deployment, "fault_controller", None)
+        byzantine_active = (
+            fault_controller.byzantine_windows_open
+            if fault_controller is not None
+            and hasattr(fault_controller, "byzantine_windows_open")
+            else 0
+        )
         net = {
             "inflight": network.inflight(),
             "messages": stats.messages,
             "bytes": stats.bytes,
             "retransmissions": stats.retransmissions,
             "dropped": stats.dropped,
+            "byzantine_active": byzantine_active,
         }
         m.inflight.set(net["inflight"])
+        m.byzantine_active.set(byzantine_active)
         sample = {"t": round(now, 6), "nodes": nodes, "net": net}
         self.samples.append(sample)
         return sample
@@ -176,6 +189,7 @@ def _series(samples: "list[dict]") -> "dict[str, np.ndarray]":
     out: "dict[str, list[float]]" = {sig: [] for sig in _NODE_SIGNALS}
     out["net_inflight"] = []
     out["net_retransmissions"] = []
+    out["byzantine_active"] = []
     for sample in samples:
         rows = list(sample.get("nodes", {}).values())
         for sig in _NODE_SIGNALS:
@@ -190,6 +204,7 @@ def _series(samples: "list[dict]") -> "dict[str, np.ndarray]":
         net = sample.get("net", {})
         out["net_inflight"].append(float(net.get("inflight", 0)))
         out["net_retransmissions"].append(float(net.get("retransmissions", 0)))
+        out["byzantine_active"].append(float(net.get("byzantine_active", 0)))
     # cumulative counter -> per-interval rate shape
     retrans = np.asarray(out["net_retransmissions"])
     if retrans.size:
@@ -218,6 +233,7 @@ def render_samples_text(samples: "list[dict]") -> str:
         "consensus_open": "open consensus instances",
         "net_inflight": "un-acked sends in flight",
         "net_retransmissions": "retransmissions / interval",
+        "byzantine_active": "byzantine windows open",
     }
     for sig, values in _series(samples).items():
         label = labels.get(sig, sig)

@@ -37,6 +37,89 @@ class TestInvalidTransactionFactory:
         assert make_invalid_transactions(0) == []
 
 
+class TestCampaignToggles:
+    def make_campaign_node(self):
+        from repro import params
+        from repro.adversary import CampaignValidator
+        from repro.core.deployment import Deployment
+
+        deployment = Deployment(
+            protocol=params.ProtocolParams(n=4, rpm=False),
+            byzantine={3: CampaignValidator},
+            seed=3,
+        )
+        return deployment, deployment.validators[3]
+
+    def test_all_behaviours_default_off(self):
+        _, node = self.make_campaign_node()
+        assert not node.flood_active
+        assert not node.equivocate_active
+        assert not node.withhold_active
+        assert not node.censor_active
+
+    def test_unknown_behaviour_rejected(self):
+        import pytest
+
+        _, node = self.make_campaign_node()
+        with pytest.raises(ValueError, match="unknown misbehaviour"):
+            node.set_misbehaviour("bribe", True)
+
+    def test_flood_knobs_applied_at_toggle_time(self):
+        _, node = self.make_campaign_node()
+        node.set_misbehaviour("flood", True, per_block=7, total=21, seed=5)
+        assert node.flood_active
+        assert node.flood_per_block == 7
+        assert node.flood_total == 21
+        assert node._flood_seed == 5
+        node.set_misbehaviour("flood", False)
+        assert not node.flood_active
+
+    def test_misbehaviour_log_records_edges(self):
+        _, node = self.make_campaign_node()
+        node.set_misbehaviour("withhold", True)
+        node.set_misbehaviour("withhold", False)
+        assert [(b, a) for b, a, _ in node.misbehaviour_log] == [
+            ("withhold", True), ("withhold", False),
+        ]
+
+    def test_withholding_drops_wire_messages(self):
+        from repro.consensus.messages import ConsensusMessage, MsgKind
+
+        deployment, node = self.make_campaign_node()
+        node.set_misbehaviour("withhold", True)
+        before = deployment.network.stats.messages
+        node._send_consensus_wire(
+            ConsensusMessage(
+                kind=MsgKind.BVAL, index=0, instance=0, round=0,
+                value=1, sender=3,
+            )
+        )
+        assert node.withheld_msgs == 1
+        assert deployment.network.stats.messages == before  # nothing sent
+
+    def test_legacy_subclasses_preset_their_behaviour(self):
+        from repro.adversary import (
+            CensoringValidator,
+            EquivocatingProposer,
+            FloodingValidator,
+        )
+
+        for cls, flag in (
+            (FloodingValidator, "flood_active"),
+            (CensoringValidator, "censor_active"),
+            (EquivocatingProposer, "equivocate_active"),
+        ):
+            from repro import params
+            from repro.core.deployment import Deployment
+
+            deployment = Deployment(
+                protocol=params.ProtocolParams(n=4, rpm=False),
+                byzantine={3: cls},
+                seed=3,
+            )
+            assert getattr(deployment.validators[3], flag) is True
+
+
 class TestParams:
     def test_protocol_derives_f(self):
         from repro import params

@@ -129,3 +129,38 @@ class TestSlowlyAdaptiveAdversary:
         adversary.corrupt(c1, ["a"])
         c2 = Committee(epoch=2, members=("a", "b"))
         assert adversary.corrupt(c2, ["a", "b"]) == ["b"]
+
+
+class TestApplyRpmEvents:
+    def registry_with(self, *addresses):
+        registry = MembershipRegistry(committee_size=2, min_deposit=10)
+        for address in addresses:
+            registry.register(address, 10)
+        return registry
+
+    def event(self, address):
+        from repro.core.rpm import ByzantineEvent
+
+        return ByzantineEvent(
+            address=address, block_number=3,
+            tx_hash_hex="ab" * 32, penalty=10,
+        )
+
+    def test_slashes_each_newly_named_address(self):
+        registry = self.registry_with("a", "b", "c")
+        slashed = registry.apply_rpm_events((self.event("b"),))
+        assert slashed == ["b"]
+        assert "b" in registry.excluded
+        assert "b" not in registry.candidates
+        assert registry.eligible() == ["a", "c"]
+
+    def test_idempotent_over_replayed_events(self):
+        registry = self.registry_with("a", "b", "c")
+        registry.apply_rpm_events((self.event("b"),))
+        assert registry.apply_rpm_events((self.event("b"),)) == []
+
+    def test_excluded_never_drawn_again(self):
+        registry = self.registry_with("a", "b", "c")
+        registry.apply_rpm_events((self.event("c"),))
+        committee = registry.committee_for(5)
+        assert "c" not in committee.members

@@ -111,3 +111,63 @@ class TestBestResponse:
             skipped_validations=tx_count, reported=True,
         ).payoff
         assert correct > byz
+
+
+class TestDepositLedger:
+    def sample(self, t, deposits, excluded=(), slashes=0, height=0):
+        from repro.core.rewards import DepositSample
+
+        return DepositSample(
+            t=t, height=height, deposits=tuple(sorted(deposits.items())),
+            excluded=tuple(excluded), slash_events=slashes,
+        )
+
+    def ledger(self, *samples):
+        from repro.core.rewards import DepositLedger
+
+        ledger = DepositLedger(("a", "b", "c", "d"))
+        ledger.samples.extend(samples)
+        return ledger
+
+    def test_stats_requires_samples(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="no samples"):
+            self.ledger().stats()
+
+    def test_attacker_slash_economics(self):
+        ledger = self.ledger(
+            self.sample(0.5, {"a": 100, "b": 100, "c": 100, "d": 100}),
+            self.sample(1.0, {"a": 100, "b": 100, "c": 100, "d": 100}),
+            self.sample(1.5, {"a": 130, "b": 130, "c": 130, "d": 0},
+                        excluded=("d",), slashes=1),
+        )
+        stats = ledger.stats(attacker="d")
+        assert stats["attacker_initial_deposit"] == 100
+        assert stats["attacker_final_deposit"] == 0
+        assert stats["attacker_net_payoff"] == -100
+        assert stats["attacker_excluded"] == 1.0
+        assert stats["time_to_exclusion_s"] == 1.5
+        assert stats["honest_yield"] == pytest_approx(0.3)
+        assert stats["slash_events"] == 1
+        assert stats["excluded_count"] == 1
+
+    def test_never_excluded_reports_infinity(self):
+        ledger = self.ledger(
+            self.sample(0.5, {"a": 100, "b": 100, "c": 100, "d": 100}),
+        )
+        stats = ledger.stats(attacker="d")
+        assert stats["time_to_exclusion_s"] == float("inf")
+        assert stats["attacker_excluded"] == 0.0
+        assert ledger.time_to_exclusion("d") is None
+
+    def test_deposit_of_unknown_address_is_zero(self):
+        row = self.sample(0.0, {"a": 7})
+        assert row.deposit_of("a") == 7
+        assert row.deposit_of("zz") == 0
+
+
+def pytest_approx(x):
+    import pytest
+
+    return pytest.approx(x)

@@ -70,6 +70,63 @@ class TestInstall:
         assert "drop-open" in kinds and "drop-close" in kinds
 
 
+class TestByzantineWindows:
+    def test_toggles_fire_on_the_deployment_clock(self):
+        schedule = FaultSchedule().byzantine_flood(
+            3, at=1.0, until=2.0, per_block=5
+        )
+        deployment = make_deployment(schedule)
+        node = deployment.validators[3]
+        deployment.start()
+        assert not node.flood_active
+        deployment.run_until(1.5)
+        assert node.flood_active
+        assert node.flood_per_block == 5
+        assert deployment.fault_controller.byzantine_windows_open == 1
+        deployment.run_until(2.5)
+        assert not node.flood_active
+        assert deployment.fault_controller.byzantine_windows_open == 0
+        kinds = [k for k, _, _ in deployment.fault_controller.applied]
+        assert "byzantine_flood-open" in kinds
+        assert "byzantine_flood-close" in kinds
+
+    def test_byzantine_windows_do_not_hook_the_transport(self):
+        schedule = FaultSchedule().byzantine_withhold(3, at=1.0, until=2.0)
+        deployment = make_deployment(schedule)
+        assert deployment.network.faults is None  # clock toggles, not link faults
+
+    def test_schedule_auto_assigns_campaign_validator(self):
+        from repro.adversary import CampaignValidator
+
+        schedule = FaultSchedule().byzantine_censor(3, at=1.0, until=2.0)
+        deployment = make_deployment(schedule)
+        assert isinstance(deployment.validators[3], CampaignValidator)
+        assert 3 in deployment.byzantine_ids
+
+    def test_target_without_misbehaviour_api_rejected(self):
+        from repro.adversary import CrashValidator
+
+        schedule = FaultSchedule().byzantine_flood(3, at=1.0, until=2.0)
+        with pytest.raises(RuntimeError, match="CampaignValidator"):
+            make_deployment(schedule, byzantine={3: CrashValidator})
+
+    def test_overlapping_windows_count_separately(self):
+        schedule = (
+            FaultSchedule()
+            .byzantine_flood(3, at=1.0, until=4.0)
+            .byzantine_withhold(3, at=2.0, until=3.0)
+        )
+        deployment = make_deployment(schedule)
+        deployment.start()
+        deployment.run_until(2.5)
+        assert deployment.fault_controller.byzantine_windows_open == 2
+        assert deployment.fault_controller.byzantine_active[3] == {
+            "flood", "withhold"
+        }
+        deployment.run_until(5.0)
+        assert deployment.fault_controller.byzantine_windows_open == 0
+
+
 class TestLinkFaultModel:
     def controller(self, schedule):
         return FaultController(make_deployment(), schedule)

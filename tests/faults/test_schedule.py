@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.faults import EVENT_KINDS, FaultEvent, FaultSchedule
+from repro.faults import BYZANTINE_KINDS, EVENT_KINDS, FaultEvent, FaultSchedule
 
 
 class TestFaultEvent:
@@ -65,11 +65,31 @@ class TestBuilders:
             .duplicate(0.1)
             .reorder(0.1, spread=0.5)
             .hard_partition([[0], [1]], at=3.0, heal_at=4.0)
+            .byzantine_flood(1, at=5.0, until=6.0)
+            .byzantine_equivocate(1, at=6.0, until=7.0)
+            .byzantine_withhold(1, at=7.0, until=8.0)
+            .byzantine_censor(1, at=8.0, until=9.0)
         )
         assert {e.kind for e in schedule.events} == set(EVENT_KINDS)
         assert [e.kind for e in schedule.point_events()] == ["crash", "restart"]
+        # byzantine windows are toggled on the clock, never handed to the
+        # transport's link-fault model
         assert len(schedule.window_events()) == 4
+        assert {e.kind for e in schedule.byzantine_events()} == set(BYZANTINE_KINDS)
         assert schedule.crashed_nodes() == {0}
+        assert schedule.byzantine_nodes() == {1}
+
+    def test_byzantine_windows_require_a_node(self):
+        for kind in BYZANTINE_KINDS:
+            with pytest.raises(ValueError, match="node id"):
+                FaultEvent(kind=kind, at=1.0)
+
+    def test_flood_knobs_are_recorded(self):
+        schedule = FaultSchedule().byzantine_flood(
+            2, at=1.0, until=5.0, per_block=300, total=4000, seed=7
+        )
+        (event,) = schedule.byzantine_events()
+        assert dict(event.knobs) == {"per_block": 300, "total": 4000, "seed": 7}
 
     def test_horizon_is_last_finite_edge(self):
         schedule = FaultSchedule().crash(0, at=3.0).drop_rate(0.1, until=25.0)
@@ -139,3 +159,95 @@ class TestValidate:
             .restart(1, at=8.0)
             .validate(n=4, f=1)
         )
+
+    def test_crash_plus_byzantine_overlap_exceeds_budget(self):
+        schedule = (
+            FaultSchedule()
+            .crash(0, at=1.0)
+            .restart(0, at=10.0)
+            .byzantine_flood(3, at=4.0, until=8.0)
+        )
+        with pytest.raises(ValueError, match="more than f=1"):
+            schedule.validate(n=4, f=1)
+        schedule.validate(n=4, f=2)
+
+    def test_crash_plus_byzantine_disjoint_is_fine(self):
+        (
+            FaultSchedule()
+            .byzantine_withhold(3, at=1.0, until=4.0)
+            .crash(0, at=4.0)  # starts the instant the window closes
+            .restart(0, at=9.0)
+            .validate(n=4, f=1)
+        )
+
+    def test_one_node_misbehaving_many_ways_costs_one_budget_unit(self):
+        # overlapping flood + withhold + crash on the same node is one
+        # faulty node, not three
+        (
+            FaultSchedule()
+            .byzantine_flood(3, at=1.0, until=10.0)
+            .byzantine_withhold(3, at=2.0, until=6.0)
+            .byzantine_equivocate(3, at=4.0, until=12.0)
+            .validate(n=4, f=1)
+        )
+
+    def test_byzantine_node_range_checked(self):
+        with pytest.raises(ValueError, match="committee has 4"):
+            FaultSchedule().byzantine_censor(9, at=1.0, until=2.0).validate(n=4)
+
+    def test_open_ended_byzantine_window_holds_budget_forever(self):
+        schedule = (
+            FaultSchedule()
+            .byzantine_withhold(2, at=1.0)  # no until: open-ended
+            .crash(0, at=50.0)
+        )
+        with pytest.raises(ValueError, match="more than f=1"):
+            schedule.validate(n=4, f=1)
+
+
+class TestValidateBudgetProperty:
+    """Property: validate(f) accepts iff peak simultaneous-faulty <= f."""
+
+    def test_budget_matches_bruteforce_peak(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        window = st.tuples(
+            st.integers(0, 3),  # node
+            st.integers(0, 20),  # start
+            st.integers(1, 10),  # length
+            st.sampled_from(["crash", "flood", "withhold"]),
+        )
+
+        @settings(max_examples=60, deadline=None)
+        @given(st.lists(window, min_size=1, max_size=6), st.integers(1, 3))
+        def check(windows, f):
+            schedule = FaultSchedule()
+            spans: list[tuple[int, float, float]] = []
+            crashed: set[int] = set()
+            for node, start, length, kind in windows:
+                at, until = float(start), float(start + length)
+                if kind == "crash":
+                    if node in crashed:
+                        continue  # crash/restart pairing is not under test
+                    crashed.add(node)
+                    schedule = schedule.crash(node, at=at).restart(node, at=until)
+                elif kind == "flood":
+                    schedule = schedule.byzantine_flood(node, at=at, until=until)
+                else:
+                    schedule = schedule.byzantine_withhold(node, at=at, until=until)
+                spans.append((node, at, until))
+            # brute-force the peak count of simultaneously-faulty nodes
+            # on a fine grid (all spans have integer edges)
+            edges = sorted({t for _, a, b in spans for t in (a, b)})
+            peak = 0
+            for t in edges:
+                active = {n for n, a, b in spans if a <= t < b}
+                peak = max(peak, len(active))
+            if peak > f:
+                with pytest.raises(ValueError, match=f"more than f={f}"):
+                    schedule.validate(n=4, f=f)
+            else:
+                schedule.validate(n=4, f=f)
+
+        check()

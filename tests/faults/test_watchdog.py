@@ -66,6 +66,43 @@ class TestStallDetection:
         assert dog.stall_count == 2
 
 
+class TestWithheldClassification:
+    def test_withheld_wedge_suppresses_the_nudge(self):
+        # A declared Byzantine withholder wedges everyone at the same
+        # height: catch-up cannot help, so no re-nudge spam.
+        sim, dog, calls = make_watchdog(classify=lambda: "withheld")
+        dog.start()
+        dog.byzantine_windows = 1
+        sim.run_until(10.0)
+        assert dog.stalled
+        assert calls == []
+        assert dog.withheld_checks >= 1
+
+    def test_genuinely_behind_still_nudges_during_a_window(self):
+        sim, dog, calls = make_watchdog(classify=lambda: "behind")
+        dog.start()
+        dog.byzantine_windows = 1
+        sim.run_until(10.0)
+        assert len(calls) >= 1
+        assert dog.withheld_checks == 0
+
+    def test_classifier_ignored_outside_byzantine_windows(self):
+        # With no declared window the stall is never attributed to
+        # withholding — defaults behave exactly as before.
+        sim, dog, calls = make_watchdog(classify=lambda: "withheld")
+        dog.start()
+        sim.run_until(10.0)
+        assert len(calls) >= 1
+        assert dog.withheld_checks == 0
+
+    def test_no_classifier_means_always_nudge(self):
+        sim, dog, calls = make_watchdog()
+        dog.start()
+        dog.byzantine_windows = 1
+        sim.run_until(10.0)
+        assert len(calls) >= 1
+
+
 class TestLifecycle:
     def test_stop_pauses_checks_and_clears_the_flag(self):
         sim, dog, calls = make_watchdog()
